@@ -1,0 +1,187 @@
+// Command experiments regenerates the paper's tables and figures on
+// the synthetic stand-in datasets.
+//
+// Usage:
+//
+//	experiments -exp all [-scale 0.3] [-seed 1]
+//	experiments -exp fig9 -datasets uk-2005,friendster -ps 4,8,16
+//	experiments -exp ablations
+//
+// Experiments: table1 fig4 fig5 table2 fig6 fig7 fig8 fig9 fig10
+// table3 ablations all. Output is the same rows/series the paper
+// reports, as fixed-width text tables.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"dinfomap/internal/experiments"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment id (table1 fig4 fig5 table2 fig6 fig7 fig8 fig9 fig10 table3 ablations all)")
+		scale    = flag.Float64("scale", 1.0, "dataset scale factor")
+		seed     = flag.Uint64("seed", 1, "random seed offset")
+		datasets = flag.String("datasets", "", "comma-separated dataset override")
+		psFlag   = flag.String("ps", "", "comma-separated processor counts override")
+		p        = flag.Int("p", 0, "single processor count (fig4/fig5/table2/table3)")
+	)
+	flag.Parse()
+
+	o := experiments.Options{Scale: *scale, Seed: *seed}
+	ds := splitList(*datasets)
+	ps, err := parseInts(*psFlag)
+	if err != nil {
+		fatal(err)
+	}
+	w := os.Stdout
+
+	run := func(id string) error {
+		switch id {
+		case "table1":
+			rows, err := experiments.RunTable1(o)
+			if err != nil {
+				return err
+			}
+			experiments.FormatTable1(w, rows)
+		case "fig4":
+			rs, err := experiments.RunFig4(o, defaultP(*p, 4), ds)
+			if err != nil {
+				return err
+			}
+			experiments.FormatFig4(w, rs)
+		case "fig5":
+			rs, err := experiments.RunFig5(o, defaultP(*p, 4), ds)
+			if err != nil {
+				return err
+			}
+			experiments.FormatFig5(w, rs)
+		case "table2":
+			rows, err := experiments.RunTable2(o, defaultP(*p, 4), ds)
+			if err != nil {
+				return err
+			}
+			experiments.FormatTable2(w, rows)
+		case "fig6", "fig7":
+			rows, err := experiments.RunBalance(o, ds, ps)
+			if err != nil {
+				return err
+			}
+			if id == "fig6" {
+				experiments.FormatFig6(w, rows)
+			} else {
+				experiments.FormatFig7(w, rows)
+			}
+		case "fig8":
+			dataset := "uk-2005"
+			if len(ds) > 0 {
+				dataset = ds[0]
+			}
+			bs, err := experiments.RunFig8(o, dataset, ps)
+			if err != nil {
+				return err
+			}
+			experiments.FormatFig8(w, dataset, bs)
+		case "fig9":
+			rows, err := experiments.RunFig9(o, ds, ps)
+			if err != nil {
+				return err
+			}
+			experiments.FormatFig9(w, rows)
+		case "fig10":
+			rows, err := experiments.RunFig10(o, ds, ps)
+			if err != nil {
+				return err
+			}
+			experiments.FormatFig10(w, rows)
+		case "table3":
+			rows, err := experiments.RunTable3(o, ds, defaultP(*p, 16))
+			if err != nil {
+				return err
+			}
+			experiments.FormatTable3(w, rows)
+		case "ablations":
+			return runAblations(o, w, defaultP(*p, 8))
+		default:
+			return fmt.Errorf("unknown experiment %q", id)
+		}
+		return nil
+	}
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = []string{"table1", "fig4", "fig5", "table2", "fig6", "fig7",
+			"fig8", "fig9", "fig10", "table3", "ablations"}
+	}
+	for _, id := range ids {
+		if err := run(id); err != nil {
+			fatal(fmt.Errorf("%s: %w", id, err))
+		}
+	}
+}
+
+func runAblations(o experiments.Options, w *os.File, p int) error {
+	type abl struct {
+		title string
+		fn    func(experiments.Options, string, int) ([]experiments.AblationRow, error)
+		ds    string
+	}
+	for _, a := range []abl{
+		{"Ablation: delegate threshold d_high (uk-2005)", experiments.RunAblationThreshold, "uk-2005"},
+		{"Ablation: minimum-label anti-bouncing (dblp)", experiments.RunAblationMinLabel, "dblp"},
+		{"Ablation: isSent Module_Info dedup (amazon)", experiments.RunAblationDedup, "amazon"},
+		{"Ablation: partition rebalancing (uk-2005)", experiments.RunAblationRebalance, "uk-2005"},
+		{"Ablation: exact vs local delta-L delegate moves (youtube)", experiments.RunAblationApproxDelegates, "youtube"},
+		{"Ablation: cross-boundary move damping (ndweb)", experiments.RunAblationDamping, "ndweb"},
+	} {
+		rows, err := a.fn(o, a.ds, p)
+		if err != nil {
+			return err
+		}
+		experiments.FormatAblation(w, a.title, rows)
+	}
+	return nil
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+func parseInts(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad processor count %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func defaultP(p, def int) int {
+	if p > 0 {
+		return p
+	}
+	return def
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

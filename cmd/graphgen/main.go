@@ -1,0 +1,122 @@
+// Command graphgen generates the synthetic datasets used by the
+// reproduction and writes them as edge lists.
+//
+// Usage:
+//
+//	graphgen -dataset uk-2005 [-scale 0.5] [-o uk2005.txt]
+//	graphgen -kind powerlaw -n 100000 -gamma 2.1 [-o pl.txt]
+//	graphgen -kind planted -n 10000 -comms 50 -mixing 0.2 [-truth t.txt]
+//	graphgen -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"dinfomap"
+)
+
+func main() {
+	var (
+		list    = flag.Bool("list", false, "list built-in datasets and exit")
+		dataset = flag.String("dataset", "", "built-in dataset name")
+		scale   = flag.Float64("scale", 1.0, "dataset scale factor")
+		kind    = flag.String("kind", "", "generator: powerlaw | ba | planted")
+		n       = flag.Int("n", 10000, "vertex count")
+		gamma   = flag.Float64("gamma", 2.2, "power-law exponent")
+		dmin    = flag.Int("dmin", 2, "minimum expected degree (powerlaw)")
+		dmax    = flag.Int("dmax", 0, "maximum expected degree (powerlaw; 0 = n/10)")
+		baM     = flag.Int("m", 5, "edges per new vertex (ba)")
+		comms   = flag.Int("comms", 50, "planted community count")
+		avgDeg  = flag.Float64("avgdeg", 10, "planted average degree")
+		mixing  = flag.Float64("mixing", 0.2, "planted mixing parameter mu")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		outPath = flag.String("o", "", "output file (default stdout)")
+		truth   = flag.String("truth", "", "write planted ground truth here")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, name := range dinfomap.Datasets() {
+			d, _ := dinfomap.LookupDataset(name)
+			fmt.Printf("%-14s %-7s %s\n", name, d.Class, d.Description)
+		}
+		return
+	}
+
+	var g *dinfomap.Graph
+	var groundTruth []int
+	switch {
+	case *dataset != "":
+		d, err := dinfomap.LookupDataset(*dataset)
+		if err != nil {
+			fatal(err)
+		}
+		if *scale != 1.0 {
+			d.N = int(float64(d.N) * *scale)
+			d.RMATEdges = int(float64(d.RMATEdges) * *scale)
+			if d.NumComms > 1 {
+				d.NumComms = max(2, int(float64(d.NumComms)**scale))
+			}
+		}
+		d.Seed = *seed
+		g, groundTruth = d.Generate()
+	case *kind == "powerlaw":
+		mx := *dmax
+		if mx <= 0 {
+			mx = *n / 10
+		}
+		g = dinfomap.GeneratePowerLaw(*seed, *n, *gamma, *dmin, mx)
+	case *kind == "ba":
+		g = dinfomap.GenerateBarabasiAlbert(*seed, *n, *baM)
+	case *kind == "planted":
+		pg := dinfomap.GeneratePlanted(dinfomap.PlantedConfig{
+			N: *n, NumComms: *comms, AvgDegree: *avgDeg, Mixing: *mixing,
+			DegreeGamma: *gamma,
+		}, *seed)
+		g, groundTruth = pg.Graph, pg.Truth
+	default:
+		fatal(fmt.Errorf("need -dataset, -kind, or -list"))
+	}
+
+	var w io.Writer = os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := dinfomap.WriteEdgeList(w, g); err != nil {
+		fatal(err)
+	}
+	st := dinfomap.ComputeDegreeStats(g)
+	fmt.Fprintf(os.Stderr, "generated %d vertices, %d edges, %s\n",
+		g.NumVertices(), g.NumEdges(), st)
+
+	if *truth != "" && groundTruth != nil {
+		f, err := os.Create(*truth)
+		if err != nil {
+			fatal(err)
+		}
+		for u, c := range groundTruth {
+			fmt.Fprintf(f, "%d %d\n", u, c)
+		}
+		f.Close()
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "graphgen:", err)
+	os.Exit(1)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,212 @@
+// Package dinfomap is a Go implementation of the distributed Infomap
+// community detection algorithm of Zeng & Yu (ICPP 2018), together with
+// the sequential Infomap reference, delegate partitioning, baseline
+// algorithms (Louvain, RelaxMap-style shared-memory, GossipMap-style
+// distributed), graph generators, and quality metrics.
+//
+// # Quickstart
+//
+//	g := dinfomap.GeneratePlanted(dinfomap.PlantedConfig{
+//	    N: 10000, NumComms: 50, AvgDegree: 10, Mixing: 0.2,
+//	}, 42).Graph
+//	res := dinfomap.RunDistributed(g, dinfomap.DistributedConfig{P: 8})
+//	fmt.Println(res.NumModules, res.Codelength)
+//
+// The distributed algorithm simulates its processors as goroutines over
+// an in-process message-passing runtime with exact byte accounting; see
+// DESIGN.md for how that maps onto the paper's MPI implementation.
+package dinfomap
+
+import (
+	"io"
+
+	"dinfomap/internal/core"
+	"dinfomap/internal/gen"
+	"dinfomap/internal/gossip"
+	"dinfomap/internal/graph"
+	"dinfomap/internal/infomap"
+	"dinfomap/internal/louvain"
+	"dinfomap/internal/metrics"
+	"dinfomap/internal/partition"
+	"dinfomap/internal/relax"
+	"dinfomap/internal/report"
+)
+
+// Graph is the shared CSR graph type. Build one with NewBuilder,
+// FromEdges, ReadEdgeList, or a generator.
+type Graph = graph.Graph
+
+// Builder accumulates undirected edges; call Build to obtain a Graph.
+type Builder = graph.Builder
+
+// NewBuilder returns a Builder for a graph with n vertices (growing
+// automatically as larger vertex ids appear).
+func NewBuilder(n int) *Builder { return graph.NewBuilder(n) }
+
+// FromEdges builds an unweighted undirected graph from an edge list.
+func FromEdges(n int, edges [][2]int) *Graph { return graph.FromEdges(n, edges) }
+
+// ReadEdgeList parses a whitespace-separated "u v [w]" edge list.
+func ReadEdgeList(r io.Reader) (*Graph, error) { return graph.ReadEdgeList(r) }
+
+// WriteEdgeList writes g as a text edge list.
+func WriteEdgeList(w io.Writer, g *Graph) error { return graph.WriteEdgeList(w, g) }
+
+// DegreeStats summarizes a degree distribution; see ComputeDegreeStats.
+type DegreeStats = graph.DegreeStats
+
+// ComputeDegreeStats returns degree-distribution statistics of g.
+func ComputeDegreeStats(g *Graph) DegreeStats { return graph.ComputeDegreeStats(g) }
+
+// ---- Generators ----
+
+// PlantedConfig parameterizes the planted-partition generator.
+type PlantedConfig = gen.PlantedConfig
+
+// PlantedGraph bundles a generated graph with its ground truth.
+type PlantedGraph struct {
+	Graph *Graph
+	Truth []int // planted community of each vertex
+}
+
+// GeneratePlanted creates a graph with known community structure.
+func GeneratePlanted(cfg PlantedConfig, seed uint64) PlantedGraph {
+	g, truth := gen.PlantedPartition(seed, cfg)
+	return PlantedGraph{Graph: g, Truth: truth}
+}
+
+// GeneratePowerLaw creates a scale-free Chung-Lu graph with n vertices,
+// power-law exponent gamma, and degrees in [dmin, dmax].
+func GeneratePowerLaw(seed uint64, n int, gamma float64, dmin, dmax int) *Graph {
+	return gen.PowerLawGraph(seed, n, gamma, dmin, dmax)
+}
+
+// GenerateBarabasiAlbert creates a preferential-attachment graph with n
+// vertices, m edges per new vertex.
+func GenerateBarabasiAlbert(seed uint64, n, m int) *Graph {
+	return gen.BarabasiAlbert(seed, n, m)
+}
+
+// Dataset describes one synthetic stand-in for a paper dataset.
+type Dataset = gen.Dataset
+
+// Datasets returns the names of the Table 1 stand-in datasets.
+func Datasets() []string { return gen.Names() }
+
+// LookupDataset returns a stand-in dataset by name (e.g. "amazon",
+// "uk-2007").
+func LookupDataset(name string) (Dataset, error) { return gen.Lookup(name) }
+
+// ---- Algorithms ----
+
+// SequentialConfig controls the sequential Infomap reference
+// (Algorithm 1 of the paper).
+type SequentialConfig = infomap.Config
+
+// SequentialResult is a sequential Infomap result.
+type SequentialResult = infomap.Result
+
+// RunSequential executes sequential Infomap on g.
+func RunSequential(g *Graph, cfg SequentialConfig) *SequentialResult {
+	return infomap.Run(g, cfg)
+}
+
+// DistributedConfig controls the distributed Infomap algorithm
+// (Algorithm 2 of the paper). P is the number of simulated ranks.
+type DistributedConfig = core.Config
+
+// DistributedResult is a distributed Infomap result, including the MDL
+// and merge-rate traces, per-phase modeled times, and per-rank
+// communication statistics used by the experiment harness.
+type DistributedResult = core.Result
+
+// RunDistributed executes the distributed Infomap algorithm on g.
+func RunDistributed(g *Graph, cfg DistributedConfig) *DistributedResult {
+	return core.Run(g, cfg)
+}
+
+// LouvainConfig controls the Louvain baseline.
+type LouvainConfig = louvain.Config
+
+// LouvainResult is a Louvain result.
+type LouvainResult = louvain.Result
+
+// RunLouvain executes the sequential Louvain algorithm on g.
+func RunLouvain(g *Graph, cfg LouvainConfig) *LouvainResult {
+	return louvain.Run(g, cfg)
+}
+
+// RelaxConfig controls the RelaxMap-style shared-memory baseline.
+type RelaxConfig = relax.Config
+
+// RelaxResult is a RelaxMap-style result.
+type RelaxResult = relax.Result
+
+// RunRelax executes the shared-memory parallel Infomap baseline on g.
+func RunRelax(g *Graph, cfg RelaxConfig) *RelaxResult {
+	return relax.Run(g, cfg)
+}
+
+// GossipConfig controls the GossipMap-style distributed baseline.
+type GossipConfig = gossip.Config
+
+// GossipResult is a GossipMap-style result.
+type GossipResult = gossip.Result
+
+// RunGossip executes the distributed label-propagation baseline on g.
+func RunGossip(g *Graph, cfg GossipConfig) *GossipResult {
+	return gossip.Run(g, cfg)
+}
+
+// ---- Quality measures ----
+
+// Quality bundles NMI, F-measure, and Jaccard index (Table 2).
+type Quality = metrics.Quality
+
+// ComparePartitions computes NMI, F-measure, and Jaccard between two
+// partitions of the same vertex set.
+func ComparePartitions(a, b []int) Quality { return metrics.Compare(a, b) }
+
+// NMI returns the normalized mutual information of two partitions.
+func NMI(a, b []int) float64 { return metrics.NMI(a, b) }
+
+// Modularity returns the Newman modularity of comm on g.
+func Modularity(g *Graph, comm []int) float64 { return metrics.Modularity(g, comm) }
+
+// CodelengthOf evaluates the two-level map equation of an arbitrary
+// partition on g (lower is better).
+func CodelengthOf(g *Graph, comm []int) float64 { return infomap.CodelengthOf(g, comm) }
+
+// ---- Reporting ----
+
+// CommunitySummary describes a detected partition; see SummarizeCommunities.
+type CommunitySummary = report.Summary
+
+// SummarizeCommunities computes per-community statistics (sizes,
+// internal/cut weight, conductance) of comm on g.
+func SummarizeCommunities(g *Graph, comm []int) *CommunitySummary {
+	return report.Summarize(g, comm)
+}
+
+// WriteCommunityDOT writes the community quotient graph in GraphViz DOT
+// format (largest maxNodes communities; 0 means 100).
+func WriteCommunityDOT(w io.Writer, g *Graph, comm []int, maxNodes int) error {
+	return report.WriteDOT(w, g, comm, maxNodes)
+}
+
+// ---- Partitioning analysis ----
+
+// BalanceStats summarizes per-rank edge and ghost balance of a layout.
+type BalanceStats = partition.BalanceStats
+
+// Analyze1D computes the balance of plain 1D round-robin partitioning
+// of g over p ranks (the baseline of Figures 6-7).
+func Analyze1D(g *Graph, p int) BalanceStats {
+	return partition.OneD(g, p).Stats()
+}
+
+// AnalyzeDelegate computes the balance of delegate partitioning of g
+// over p ranks with the paper's default threshold (d_high = p).
+func AnalyzeDelegate(g *Graph, p int) BalanceStats {
+	return partition.Delegate(g, p, partition.DelegateOptions{}).Stats()
+}

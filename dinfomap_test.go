@@ -1,0 +1,117 @@
+package dinfomap
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	pg := GeneratePlanted(PlantedConfig{
+		N: 600, NumComms: 12, AvgDegree: 8, Mixing: 0.15,
+	}, 42)
+	g := pg.Graph
+
+	seq := RunSequential(g, SequentialConfig{Seed: 1})
+	dist := RunDistributed(g, DistributedConfig{P: 4, Seed: 1})
+	if seq.NumModules < 2 || dist.NumModules < 2 {
+		t.Fatalf("degenerate results: seq=%d dist=%d", seq.NumModules, dist.NumModules)
+	}
+	q := ComparePartitions(dist.Communities, seq.Communities)
+	if q.NMI < 0.7 {
+		t.Fatalf("distributed vs sequential NMI = %.3f", q.NMI)
+	}
+	if NMI(dist.Communities, pg.Truth) < 0.7 {
+		t.Fatalf("distributed vs truth NMI too low")
+	}
+}
+
+func TestPublicAPIBaselines(t *testing.T) {
+	pg := GeneratePlanted(PlantedConfig{
+		N: 400, NumComms: 8, AvgDegree: 8, Mixing: 0.2,
+	}, 7)
+	g := pg.Graph
+	if r := RunLouvain(g, LouvainConfig{Seed: 1}); r.Modularity < 0.3 {
+		t.Errorf("Louvain Q = %.3f", r.Modularity)
+	}
+	if r := RunRelax(g, RelaxConfig{Workers: 2, Seed: 1}); r.NumModules < 2 {
+		t.Errorf("Relax modules = %d", r.NumModules)
+	}
+	if r := RunGossip(g, GossipConfig{P: 2, Seed: 1}); r.NumModules < 2 {
+		t.Errorf("Gossip modules = %d", r.NumModules)
+	}
+}
+
+func TestPublicAPIGraphIO(t *testing.T) {
+	g := FromEdges(3, [][2]int{{0, 1}, {1, 2}})
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadEdgeList(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumEdges() != 2 {
+		t.Fatalf("round trip lost edges: %d", g2.NumEdges())
+	}
+	b := NewBuilder(2)
+	b.AddWeightedEdge(0, 1, 2.5)
+	if b.Build().TotalWeight() != 2.5 {
+		t.Fatal("builder weight lost")
+	}
+}
+
+func TestPublicAPIGenerators(t *testing.T) {
+	g := GeneratePowerLaw(3, 2000, 2.1, 2, 200)
+	st := ComputeDegreeStats(g)
+	if st.Max < 20 {
+		t.Errorf("power-law max degree = %d", st.Max)
+	}
+	ba := GenerateBarabasiAlbert(5, 500, 3)
+	if ba.NumVertices() != 500 {
+		t.Errorf("BA vertices = %d", ba.NumVertices())
+	}
+}
+
+func TestPublicAPIDatasets(t *testing.T) {
+	names := Datasets()
+	if len(names) != 9 {
+		t.Fatalf("Datasets() returned %d names, want 9", len(names))
+	}
+	d, err := LookupDataset("amazon")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, truth := d.Generate()
+	if g.NumEdges() == 0 || truth == nil {
+		t.Fatal("amazon stand-in did not generate")
+	}
+	if _, err := LookupDataset("bogus"); err == nil {
+		t.Fatal("LookupDataset accepted bogus name")
+	}
+}
+
+func TestPublicAPIPartitionAnalysis(t *testing.T) {
+	g := GeneratePowerLaw(11, 3000, 2.0, 2, 300)
+	oneD := Analyze1D(g, 8)
+	del := AnalyzeDelegate(g, 8)
+	if del.EdgeImbalance >= oneD.EdgeImbalance {
+		t.Errorf("delegate imbalance %.2f not better than 1D %.2f",
+			del.EdgeImbalance, oneD.EdgeImbalance)
+	}
+}
+
+func TestPublicAPIMetrics(t *testing.T) {
+	g := FromEdges(6, [][2]int{
+		{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}, {5, 3}, {2, 3},
+	})
+	comm := []int{0, 0, 0, 1, 1, 1}
+	if q := Modularity(g, comm); math.Abs(q-5.0/14) > 1e-9 {
+		t.Errorf("Modularity = %v", q)
+	}
+	if l := CodelengthOf(g, comm); l <= 0 {
+		t.Errorf("CodelengthOf = %v", l)
+	}
+}

@@ -1,0 +1,45 @@
+// Citations: the directed-graph extension in action. Builds a
+// citation-network-like DAG (papers cite earlier papers, mostly within
+// their field), runs directed Infomap on it, and contrasts the result
+// with running undirected Infomap on the symmetrized graph — showing
+// why citation flow direction matters.
+//
+//	go run ./examples/citations
+package main
+
+import (
+	"fmt"
+
+	"dinfomap"
+	"dinfomap/internal/gen"
+)
+
+func main() {
+	// 4000 papers in 25 fields, 8 references each, 15% cross-field.
+	dg, truth := gen.DirectedCitation(2718, 4000, 25, 8, 0.15)
+	fmt.Printf("citation network: %d papers, %d citations\n", dg.NumVertices(), dg.NumArcs())
+
+	// Directed Infomap: random surfer over citations with teleportation.
+	dres := dinfomap.RunDirected(dg, dinfomap.DirectedConfig{Seed: 1})
+	fmt.Printf("\ndirected Infomap:\n")
+	fmt.Printf("  fields found: %d (planted 25)\n", dres.NumModules)
+	fmt.Printf("  codelength:   %.4f bits (initial %.4f)\n",
+		dres.Codelength, dres.InitialCodelength)
+	fmt.Printf("  flow:         %d power iterations to stationarity\n", dres.FlowIterations)
+	fmt.Printf("  NMI vs planted fields: %.3f\n", dinfomap.NMI(dres.Communities, truth))
+
+	// The naive alternative: drop directions, run undirected Infomap.
+	ug := dinfomap.Undirected(dg)
+	ures := dinfomap.RunSequential(ug, dinfomap.SequentialConfig{Seed: 1})
+	fmt.Printf("\nundirected Infomap on the symmetrized graph:\n")
+	fmt.Printf("  fields found: %d\n", ures.NumModules)
+	fmt.Printf("  NMI vs planted fields: %.3f\n", dinfomap.NMI(ures.Communities, truth))
+
+	// Evaluate both partitions under the DIRECTED objective: the
+	// direction-aware optimizer should compress citation flow better.
+	ld := dinfomap.DirectedCodelengthOf(dg, dres.Communities, 0)
+	lu := dinfomap.DirectedCodelengthOf(dg, ures.Communities, 0)
+	fmt.Printf("\ndirected codelength of each partition (lower = better):\n")
+	fmt.Printf("  directed optimizer:   %.4f bits\n", ld)
+	fmt.Printf("  symmetrized optimizer: %.4f bits\n", lu)
+}

@@ -1,0 +1,3 @@
+module dinfomap
+
+go 1.22

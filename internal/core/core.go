@@ -1,0 +1,282 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"dinfomap/internal/graph"
+	"dinfomap/internal/mapeq"
+	"dinfomap/internal/mpi"
+	"dinfomap/internal/partition"
+	"dinfomap/internal/trace"
+)
+
+// Config controls a distributed Infomap run.
+type Config struct {
+	// P is the number of simulated ranks. Must be >= 1.
+	P int
+	// DHigh is the delegate threshold: vertices with degree > DHigh are
+	// duplicated on all ranks. <= 0 means the scaled default
+	// max(P, 4*avgDegree); the paper's literal d_high = p assumes
+	// Titan-scale processor counts (see Run).
+	DHigh int
+	// NoRebalance disables the partitioner's rebalancing pass (ablation).
+	NoRebalance bool
+	// NoMinLabel disables the minimum-label anti-bouncing rule (ablation:
+	// demonstrates the vertex bouncing problem of Section 3.4).
+	NoMinLabel bool
+	// ApproxDelegates applies delegate moves directly on the winning
+	// local delta-L (the paper's literal scheme) instead of the exact
+	// two-round evaluation; see broadcastDelegates. Ablation only.
+	ApproxDelegates bool
+	// NoDamping disables the probabilistic deferral of cross-boundary
+	// moves that desynchronizes simultaneous over-merging (ablation).
+	NoDamping bool
+	// NoDedup disables the isSent deduplication of Module_Info messages
+	// (ablation: reproduces the duplicated-information problem of
+	// Figure 3 and measurably inflates communication volume).
+	NoDedup bool
+	// Theta is the outer-loop MDL improvement threshold; <= 0 means 1e-10.
+	Theta float64
+	// MaxOuterIterations bounds optimize+merge rounds; <= 0 means 25.
+	MaxOuterIterations int
+	// MaxSweeps bounds synchronized sweeps inside one clustering stage;
+	// <= 0 means 100.
+	MaxSweeps int
+	// Seed randomizes per-rank vertex visit order.
+	Seed uint64
+	// CostModel converts measured work/traffic into modeled times; the
+	// zero value means trace.DefaultCostModel().
+	CostModel trace.CostModel
+}
+
+func (c Config) withDefaults() Config {
+	if c.P < 1 {
+		c.P = 1
+	}
+	if c.Theta <= 0 {
+		c.Theta = 1e-10
+	}
+	if c.MaxOuterIterations <= 0 {
+		c.MaxOuterIterations = 25
+	}
+	if c.MaxSweeps <= 0 {
+		c.MaxSweeps = 100
+	}
+	if c.CostModel == (trace.CostModel{}) {
+		c.CostModel = trace.DefaultCostModel()
+	}
+	return c
+}
+
+// Result reports a finished distributed run.
+type Result struct {
+	// Communities assigns each original vertex its final module (dense).
+	Communities []int
+	// NumModules is the number of final modules.
+	NumModules int
+	// Codelength is the final global MDL in bits, exactly comparable to
+	// the sequential algorithm's (same Eq. 3, same vertex term).
+	Codelength float64
+	// InitialCodelength is L of the all-singleton partition.
+	InitialCodelength float64
+	// MDLTrace[k] is the global MDL after outer iteration k (Figure 4).
+	MDLTrace []float64
+	// MergeRate[k] is the fraction of original vertices eliminated by
+	// merging in outer iteration k (Figure 5).
+	MergeRate []float64
+	// OuterIterations counts optimize+merge rounds (stage 1 is round 0).
+	OuterIterations int
+
+	// Stage1Wall / Stage2Wall are real wall-clock times of the two
+	// clustering stages (all ranks interleaved on the host).
+	Stage1Wall, Stage2Wall time.Duration
+	// Stage1Modeled / Stage2Modeled are the alpha-beta modeled times
+	// (max per-rank work per phase; see package trace).
+	Stage1Modeled, Stage2Modeled time.Duration
+	// PhaseModeled breaks stage-1 modeled time into the Figure 8 phases.
+	PhaseModeled map[string]time.Duration
+	// PhaseOps holds max-per-rank operation counts per phase.
+	PhaseOps map[string]int64
+	// Stage1Iterations / Stage2Iterations count synchronized sweeps.
+	Stage1Iterations, Stage2Iterations int
+
+	// CommStats is each rank's cumulative traffic.
+	CommStats []mpi.Stats
+	// MaxRankBytes is the largest per-rank total byte count.
+	MaxRankBytes int64
+	// DeltaEvaluations is the global number of delta-L evaluations.
+	DeltaEvaluations int64
+	// Partition summarizes the delegate layout used (Figures 6-7).
+	Partition partition.BalanceStats
+}
+
+// TotalModeled is the modeled end-to-end clustering time (both stages).
+func (r *Result) TotalModeled() time.Duration { return r.Stage1Modeled + r.Stage2Modeled }
+
+// Run executes the distributed Infomap algorithm on g with cfg.P
+// simulated ranks and returns the combined result.
+func Run(g *graph.Graph, cfg Config) *Result {
+	cfg = cfg.withDefaults()
+	n := g.NumVertices()
+	res := &Result{Communities: make([]int, n)}
+	for u := range res.Communities {
+		res.Communities[u] = u
+	}
+	if n == 0 || g.TotalWeight() == 0 {
+		res.NumModules = n
+		return res
+	}
+
+	// ---- Preprocessing (Algorithm 2, line 1) ----
+	// Delegate partitioning plus flow initialization. The flow arrays are
+	// the product of the distributed degree computation described in
+	// Section 3.3; ranks only ever read entries of vertices they see.
+	//
+	// Threshold default: the paper uses d_high = p, which on Titan
+	// (p in the thousands) delegates only the extreme tail. At this
+	// reproduction's processor counts (2-64) a literal d_high = p would
+	// delegate most vertices — delegates get only one coordinated move
+	// per synchronized round, so quality and convergence collapse. The
+	// default therefore keeps delegates in the tail: at least p, and at
+	// least several times the average degree (see DESIGN.md).
+	dHigh := cfg.DHigh
+	if dHigh <= 0 {
+		avgDeg := 2 * g.NumEdges() / maxInt(1, n)
+		dHigh = maxInt(cfg.P, 4*avgDeg)
+	}
+	layout := partition.Delegate(g, cfg.P, partition.DelegateOptions{
+		DHigh:       dHigh,
+		NoRebalance: cfg.NoRebalance,
+	})
+	res.Partition = layout.Stats()
+	flow := mapeq.NewVertexFlow(g)
+
+	runner := &runState{
+		g: g, cfg: &cfg, layout: layout, flow: flow, res: res,
+		perRankPhase:  make([]phaseCosts, cfg.P),
+		perRankStage2: make([]trace.RankCost, cfg.P),
+		perRankWall1:  make([]time.Duration, cfg.P),
+		perRankWall2:  make([]time.Duration, cfg.P),
+		perRankEvals:  make([]int64, cfg.P),
+	}
+	stats := mpi.Run(cfg.P, runner.rankMain)
+	res.CommStats = stats
+	for _, s := range stats {
+		if b := s.TotalBytes(); b > res.MaxRankBytes {
+			res.MaxRankBytes = b
+		}
+	}
+
+	// Collect the per-rank outputs assembled by rankMain.
+	runner.finish(res)
+	return res
+}
+
+// runState carries inputs and cross-rank outputs of one Run. The output
+// fields are written by rank 0 only (all ranks hold identical copies at
+// the end, a property the tests assert).
+type runState struct {
+	g      *graph.Graph
+	cfg    *Config
+	layout *partition.Layout
+	flow   *mapeq.VertexFlow
+	res    *Result
+
+	// Per-rank measurement slots; each rank writes only its own index.
+	perRankPhase  []phaseCosts
+	perRankStage2 []trace.RankCost
+	perRankWall1  []time.Duration
+	perRankWall2  []time.Duration
+	perRankEvals  []int64
+
+	out rankOutput
+}
+
+// rankOutput is what rank 0 publishes back to Run (these values are
+// identical on every rank by construction; tests assert this).
+type rankOutput struct {
+	communities              []int
+	mdlTrace                 []float64
+	mergeRate                []float64
+	initialL                 float64
+	stage1Iters, stage2Iters int
+}
+
+func (rs *runState) finish(res *Result) {
+	o := &rs.out
+	res.Communities = o.communities
+	dense, k := graph.Renumber(res.Communities)
+	res.Communities = dense
+	res.NumModules = k
+	res.MDLTrace = o.mdlTrace
+	res.MergeRate = o.mergeRate
+	res.InitialCodelength = o.initialL
+	if len(o.mdlTrace) > 0 {
+		res.Codelength = o.mdlTrace[len(o.mdlTrace)-1]
+	}
+	res.OuterIterations = len(o.mdlTrace)
+	res.Stage1Iterations = o.stage1Iters
+	res.Stage2Iterations = o.stage2Iters
+
+	// Wall times: the slowest rank gates each stage.
+	for r := 0; r < rs.cfg.P; r++ {
+		if rs.perRankWall1[r] > res.Stage1Wall {
+			res.Stage1Wall = rs.perRankWall1[r]
+		}
+		if rs.perRankWall2[r] > res.Stage2Wall {
+			res.Stage2Wall = rs.perRankWall2[r]
+		}
+		res.DeltaEvaluations += rs.perRankEvals[r]
+	}
+
+	// Modeled times: per phase, take the slowest rank's accumulated
+	// cost (the bulk-synchronous steps are gated by the slowest rank;
+	// aggregating at stage granularity is accurate because delegate
+	// partitioning keeps ranks balanced within each iteration).
+	model := rs.cfg.CostModel
+	res.PhaseModeled = make(map[string]time.Duration)
+	res.PhaseOps = make(map[string]int64)
+	phases := []string{
+		trace.PhaseFindBestModule, trace.PhaseBcastDelegates,
+		trace.PhaseSwapBoundary, trace.PhaseOther,
+	}
+	for _, ph := range phases {
+		var worst time.Duration
+		var worstOps int64
+		for r := 0; r < rs.cfg.P; r++ {
+			c := rs.perRankPhase[r][ph]
+			if t := model.Time(c); t > worst {
+				worst = t
+			}
+			if c.Ops > worstOps {
+				worstOps = c.Ops
+			}
+		}
+		res.PhaseModeled[ph] = worst
+		res.PhaseOps[ph] = worstOps
+		res.Stage1Modeled += worst
+	}
+	var worst2 time.Duration
+	for r := 0; r < rs.cfg.P; r++ {
+		if t := model.Time(rs.perRankStage2[r]); t > worst2 {
+			worst2 = t
+		}
+	}
+	res.Stage2Modeled = worst2
+}
+
+func ownerOf(v, p int) int { return v % p }
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func checkf(cond bool, format string, args ...any) {
+	if !cond {
+		panic(fmt.Sprintf("core: internal invariant violated: "+format, args...))
+	}
+}

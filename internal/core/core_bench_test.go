@@ -1,0 +1,30 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"dinfomap/internal/gen"
+)
+
+func BenchmarkRunByP(b *testing.B) {
+	g, _ := gen.PlantedPartition(3, gen.PlantedConfig{
+		N: 3000, NumComms: 60, AvgDegree: 10, Mixing: 0.2,
+	})
+	for _, p := range []int{2, 8} {
+		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				Run(g, Config{P: p, Seed: uint64(i)})
+			}
+		})
+	}
+}
+
+// BenchmarkRunHubHeavy exercises the delegate machinery specifically.
+func BenchmarkRunHubHeavy(b *testing.B) {
+	g := gen.PowerLawGraph(7, 5000, 1.9, 2, 500)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Run(g, Config{P: 8, Seed: uint64(i)})
+	}
+}

@@ -1,0 +1,430 @@
+package core
+
+import (
+	"sort"
+
+	"dinfomap/internal/mapeq"
+	"dinfomap/internal/mpi"
+)
+
+// broadcastDelegates runs the BroadcastDelegates phase (Algorithm 2,
+// line 4). Round A gathers every rank's best local delegate move and
+// selects, per hub, the candidate with the minimum local delta-L
+// (deterministic tie-breaks: lower target, then lower proposing rank).
+//
+// By default a second round then makes the decision *exact*: every rank
+// contributes its local link weight between the hub and the winning
+// target (and the hub's current module), and the proposing rank ships
+// the target module's statistics, so all ranks evaluate the same global
+// delta-L from identical inputs and apply the move only when it truly
+// improves the codelength. With Config.ApproxDelegates the round-A
+// winner is applied directly on its local delta-L, which is the paper's
+// literal scheme; the ablation benches show it degrades quality when a
+// delegate's adjacency is spread thinly over many ranks.
+//
+// Returns the number of hub moves applied (identical on every rank).
+func (lv *level) broadcastDelegates(cands []hubCandidate) int {
+	if lv.isHub == nil {
+		return 0
+	}
+	// ---- Round A: propose ----
+	e := mpi.NewEncoder(len(cands) * 24)
+	for _, hc := range cands {
+		hc.encode(e)
+	}
+	parts := lv.c.AllgatherBytes(e.Bytes())
+	best := make(map[int]hubCandidate)
+	proposer := make(map[int]int)
+	for src, b := range parts {
+		d := mpi.NewDecoder(b)
+		for d.Remaining() > 0 {
+			hc := decodeHubCandidate(d)
+			cur, ok := best[hc.Hub]
+			if !ok || hc.DeltaL < cur.DeltaL ||
+				(hc.DeltaL == cur.DeltaL && (hc.Target < cur.Target ||
+					(hc.Target == cur.Target && src < proposer[hc.Hub]))) {
+				best[hc.Hub] = hc
+				proposer[hc.Hub] = src
+			}
+		}
+	}
+	if len(best) == 0 {
+		// Keep the collective schedule aligned across ranks: round B
+		// always happens (empty) so no rank waits on a missing barrier.
+		if !lv.cfg.ApproxDelegates {
+			lv.c.AllgatherBytes(nil)
+		}
+		return 0
+	}
+	hubs := make([]int, 0, len(best))
+	for h := range best {
+		hubs = append(hubs, h)
+	}
+	sort.Ints(hubs)
+
+	moves := 0
+	if lv.cfg.ApproxDelegates {
+		// The paper's literal scheme: apply the winning local candidate.
+		for _, h := range hubs {
+			hc := best[h]
+			if hc.DeltaL < 0 && lv.comm[h] != hc.Target {
+				lv.comm[h] = hc.Target
+				moves++
+			}
+		}
+		return moves
+	}
+
+	// ---- Round B: exact evaluation ----
+	// Fixed-order weight block (2 float64 per winner hub), then the
+	// proposer-supplied target module stats.
+	e = mpi.NewEncoder(len(hubs)*16 + 64)
+	for _, h := range hubs {
+		target := best[h].Target
+		from := lv.comm[h]
+		wTo, wFrom := lv.localHubWeights(h, target, from)
+		e.PutF64(wTo)
+		e.PutF64(wFrom)
+	}
+	for _, h := range hubs {
+		if proposer[h] == lv.rank {
+			m := lv.mods[best[h].Target]
+			e.PutInt(h)
+			e.PutF64(m.SumPr)
+			e.PutF64(m.ExitPr)
+			e.PutInt(m.Members)
+		}
+	}
+	parts = lv.c.AllgatherBytes(e.Bytes())
+	sumTo := make([]float64, len(hubs))
+	sumFrom := make([]float64, len(hubs))
+	targetStats := make(map[int]mapeq.Module, len(hubs))
+	for _, b := range parts {
+		d := mpi.NewDecoder(b)
+		for i := range hubs {
+			sumTo[i] += d.F64()
+			sumFrom[i] += d.F64()
+		}
+		for d.Remaining() > 0 {
+			h := d.Int()
+			targetStats[h] = mapeq.Module{
+				SumPr: d.F64(), ExitPr: d.F64(), Members: d.Int(),
+			}
+		}
+	}
+	// All ranks now evaluate identical inputs: the refresh-time snapshot
+	// aggregates and from-module stats (identical everywhere because
+	// every rank subscribes to every hub's module), the proposer's
+	// target stats, and the globally summed link weights.
+	for i, h := range hubs {
+		hc := best[h]
+		from := lv.comm[h]
+		if from == hc.Target {
+			continue
+		}
+		mv := mapeq.Move{
+			PU:      lv.visit[h],
+			ExitU:   lv.exitP[h],
+			WToFrom: sumFrom[i],
+			WToTo:   sumTo[i],
+		}
+		d := mapeq.DeltaL(lv.refAgg, lv.hubFromStats[h], targetStats[h], mv)
+		if d < -1e-15 {
+			lv.comm[h] = hc.Target
+			moves++
+		}
+	}
+	return moves
+}
+
+// localHubWeights returns this rank's normalized link weight between hub
+// h and the members (as locally known) of the target and from modules.
+func (lv *level) localHubWeights(h, target, from int) (wTo, wFrom float64) {
+	i, ok := lv.evalIndex[h]
+	if !ok {
+		return 0, 0
+	}
+	for j := lv.evalOff[i]; j < lv.evalOff[i+1]; j++ {
+		v := lv.adjV[j]
+		if v == h {
+			continue
+		}
+		switch lv.comm[v] {
+		case target:
+			wTo += lv.adjW[j] * lv.inv2W
+		case from:
+			wFrom += lv.adjW[j] * lv.inv2W
+		}
+	}
+	return wTo, wFrom
+}
+
+// swapGhostComms runs the community-id half of the SwapBoundaryInfo
+// phase: every rank sends the current community of each owned boundary
+// vertex to the ranks ghosting it, every iteration (the paper observes
+// this traffic is stable across iterations, Figure 8).
+func (lv *level) swapGhostComms() {
+	encs := make([]*mpi.Encoder, lv.p)
+	for v, subs := range lv.subscribers {
+		gu := ghostUpdate{Vertex: v, Comm: lv.comm[v]}
+		for _, dst := range subs {
+			if encs[dst] == nil {
+				encs[dst] = mpi.NewEncoder(256)
+			}
+			gu.encode(encs[dst])
+		}
+	}
+	bufs := make([][]byte, lv.p)
+	for r, e := range encs {
+		if e != nil {
+			bufs[r] = e.Bytes()
+		}
+	}
+	recv := lv.c.Alltoallv(bufs)
+	for _, b := range recv {
+		d := mpi.NewDecoder(b)
+		for d.Remaining() > 0 {
+			gu := decodeGhostUpdate(d)
+			lv.comm[gu.Vertex] = gu.Comm
+		}
+	}
+}
+
+// refresh rebuilds authoritative module statistics and the global Eq. 3
+// aggregates (the Module_Info exchange of Algorithm 3 plus the MDL
+// Allreduce). After refresh, every rank's module table is exact for all
+// modules of its visible vertices, lv.agg holds the exact global
+// aggregates, and the returned count is the global number of non-empty
+// modules.
+func (lv *level) refresh() (numModules int64) {
+	// ---- Local partials ----
+	partials := make(map[int]*modulePartial)
+	get := func(m int) *modulePartial {
+		p := partials[m]
+		if p == nil {
+			p = &modulePartial{ModID: m}
+			partials[m] = p
+		}
+		return p
+	}
+	// Membership: every live vertex is counted exactly once globally, by
+	// its owner (delegate copies do not double-count).
+	for _, u := range lv.ownedActive {
+		p := get(lv.comm[u])
+		p.SumPr += lv.visit[u]
+		p.Members++
+	}
+	// Exit: every arc exists on exactly one rank, so summing local
+	// crossing arcs over ranks counts each crossing edge once per side.
+	for i, u := range lv.evalVerts {
+		m := lv.comm[u]
+		var exit float64
+		for j := lv.evalOff[i]; j < lv.evalOff[i+1]; j++ {
+			v := lv.adjV[j]
+			if v != u && lv.comm[v] != m {
+				exit += lv.adjW[j]
+			}
+		}
+		if exit != 0 {
+			get(m).ExitPr += exit * lv.inv2W
+		}
+	}
+	// Subscriptions: we need fresh stats for the module of every visible
+	// vertex; an all-zero partial acts as a pure request.
+	for _, x := range lv.visList {
+		get(lv.comm[x])
+	}
+
+	// ---- Round 1: partials to module home ranks ----
+	// With deduplication one record per module is sent; the NoDedup
+	// ablation sends one record per visible vertex of the module,
+	// reproducing the duplicated-information problem of Figure 3.
+	encs := make([]*mpi.Encoder, lv.p)
+	enc := func(dst int, rec modulePartial) {
+		if encs[dst] == nil {
+			encs[dst] = mpi.NewEncoder(512)
+		}
+		rec.encode(encs[dst])
+	}
+	if lv.cfg.NoDedup {
+		counts := make(map[int]int)
+		for _, x := range lv.visList {
+			counts[lv.comm[x]]++
+		}
+		for m, p := range partials {
+			dst := ownerOf(m, lv.p)
+			n := counts[m]
+			if n < 1 {
+				n = 1
+			}
+			// First copy carries the stats; duplicates carry zeros but
+			// still cost wire bytes, as the naive scheme would.
+			enc(dst, *p)
+			for i := 1; i < n; i++ {
+				enc(dst, modulePartial{ModID: m})
+			}
+		}
+	} else {
+		for m, p := range partials {
+			enc(dst(m, lv.p), *p)
+		}
+	}
+	bufs := make([][]byte, lv.p)
+	for r, e := range encs {
+		if e != nil {
+			bufs[r] = e.Bytes()
+		}
+	}
+	recv := lv.c.Alltoallv(bufs)
+
+	// ---- Owner side: sum partials, bump versions, answer subscribers ----
+	type ownedMod struct {
+		mod  mapeq.Module
+		subs []int
+	}
+	owned := make(map[int]*ownedMod)
+	for src, b := range recv {
+		d := mpi.NewDecoder(b)
+		for d.Remaining() > 0 {
+			mp := decodeModulePartial(d)
+			om := owned[mp.ModID]
+			if om == nil {
+				om = &ownedMod{}
+				owned[mp.ModID] = om
+			}
+			om.mod.SumPr += mp.SumPr
+			om.mod.ExitPr += mp.ExitPr
+			om.mod.Members += mp.Members
+			if len(om.subs) == 0 || om.subs[len(om.subs)-1] != src {
+				om.subs = append(om.subs, src)
+			}
+		}
+	}
+	// Count live modules owned here and detect stat changes. Versions
+	// are monotone across the level's lifetime: a module that vanishes
+	// and reappears must NOT restart at an old version number, or a
+	// subscriber whose sentVersion matches the recycled number would
+	// keep stale statistics after an isSent short-form response.
+	for m, om := range owned {
+		if prev, ok := lv.ownedStats[m]; !ok || prev != om.mod {
+			lv.modVersion[m]++
+		}
+		if om.mod.Members > 0 {
+			numModules++
+		}
+	}
+	if lv.ownedStats == nil {
+		lv.ownedStats = make(map[int]mapeq.Module)
+	}
+	for m := range lv.ownedStats {
+		if _, ok := owned[m]; !ok {
+			delete(lv.ownedStats, m)
+			// The next reappearance must be treated as changed.
+			lv.modVersion[m]++
+		}
+	}
+
+	// ---- Round 2: authoritative stats back to subscribers ----
+	encs = make([]*mpi.Encoder, lv.p)
+	for m, om := range owned {
+		lv.ownedStats[m] = om.mod
+		for _, dstRank := range om.subs {
+			if encs[dstRank] == nil {
+				encs[dstRank] = mpi.NewEncoder(512)
+			}
+			e := encs[dstRank]
+			unchanged := !lv.cfg.NoDedup && lv.sentVersion[dstRank][m] == lv.modVersion[m]
+			if unchanged {
+				// Short form: the subscriber already has this version.
+				ModuleInfo{ModID: m, IsSent: true}.encodeShort(e)
+			} else {
+				ModuleInfo{
+					ModID:      m,
+					SumPr:      om.mod.SumPr,
+					ExitPr:     om.mod.ExitPr,
+					NumMembers: om.mod.Members,
+					IsSent:     false,
+				}.encode(e)
+				lv.sentVersion[dstRank][m] = lv.modVersion[m]
+			}
+		}
+	}
+	bufs = make([][]byte, lv.p)
+	for r, e := range encs {
+		if e != nil {
+			bufs[r] = e.Bytes()
+		}
+	}
+	recv = lv.c.Alltoallv(bufs)
+
+	// ---- Update local module table (Algorithm 3, lines 22-32) ----
+	if lv.delivered == nil {
+		lv.delivered = make(map[int]mapeq.Module)
+	}
+	newMods := make(map[int]mapeq.Module, len(partials))
+	for _, b := range recv {
+		d := mpi.NewDecoder(b)
+		for d.Remaining() > 0 {
+			mi := decodeModuleInfoMaybeShort(d)
+			if mi.IsSent {
+				// Unchanged since the last full delivery: restore the
+				// cached authoritative copy (the working table entry
+				// may be dirty from this sweep's optimistic updates).
+				cached, ok := lv.delivered[mi.ModID]
+				checkf(ok, "rank %d: isSent marker for module %d never delivered",
+					lv.rank, mi.ModID)
+				newMods[mi.ModID] = cached
+				continue
+			}
+			m := mapeq.Module{
+				SumPr:   mi.SumPr,
+				ExitPr:  mi.ExitPr,
+				Members: mi.NumMembers,
+			}
+			lv.delivered[mi.ModID] = m
+			newMods[mi.ModID] = m
+		}
+	}
+	lv.mods = newMods
+
+	// ---- Global aggregates and module count (MDL Allreduce) ----
+	// Summation in sorted module order keeps the partial — and with the
+	// fixed-order Allreduce the global aggregates — bit-reproducible.
+	ownedIDs := make([]int, 0, len(lv.ownedStats))
+	for m := range lv.ownedStats {
+		ownedIDs = append(ownedIDs, m)
+	}
+	sort.Ints(ownedIDs)
+	var part [4]float64
+	for _, m := range ownedIDs {
+		mod := lv.ownedStats[m]
+		if mod.Members == 0 {
+			continue
+		}
+		part[0] += mod.ExitPr
+		part[1] += mapeq.PlogP(mod.ExitPr)
+		part[2] += mapeq.PlogP(mod.ExitPr + mod.SumPr)
+	}
+	part[3] = float64(numModules)
+	tot := lv.c.AllreduceSumF64s(part[:])
+	lv.agg = mapeq.Aggregates{
+		QTotal:     tot[0],
+		SumQLogQ:   tot[1],
+		SumQPLogQP: tot[2],
+		SumPlogpP:  lv.vertexTerm,
+	}
+	// Snapshots for the consistent delegate decision of the next
+	// iteration (see broadcastDelegates).
+	lv.refAgg = lv.agg
+	if lv.isHub != nil {
+		if lv.hubFromStats == nil {
+			lv.hubFromStats = make(map[int]mapeq.Module, len(lv.hubs))
+		}
+		for _, h := range lv.hubs {
+			lv.hubFromStats[h] = lv.mods[lv.comm[h]]
+		}
+	}
+	return int64(tot[3])
+}
+
+func dst(m, p int) int { return ownerOf(m, p) }

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"dinfomap/internal/mpi"
+)
+
+// mergeShuffle performs the distributed graph merging of Section 3.5:
+// each rank contracts its local arcs by the converged assignment and
+// ships each contracted arc to the home rank of its (new) evaluation
+// vertex, i.e. a plain 1D partitioning of the merged graph (Algorithm 2,
+// line 8). The returned arcs are this rank's portion of the merged
+// level: the full adjacency of every community id it owns.
+func (lv *level) mergeShuffle() []mergedArc {
+	// Contract local arcs and pre-accumulate per destination pair to
+	// keep the shuffle payload small.
+	type key struct{ u, v int }
+	acc := make(map[key]float64)
+	for i, u := range lv.evalVerts {
+		cu := lv.comm[u]
+		for j := lv.evalOff[i]; j < lv.evalOff[i+1]; j++ {
+			cv := lv.comm[lv.adjV[j]]
+			acc[key{cu, cv}] += lv.adjW[j]
+		}
+	}
+	encs := make([]*mpi.Encoder, lv.p)
+	for k, w := range acc {
+		dstRank := ownerOf(k.u, lv.p)
+		if encs[dstRank] == nil {
+			encs[dstRank] = mpi.NewEncoder(1024)
+		}
+		e := encs[dstRank]
+		e.PutInt(k.u)
+		e.PutInt(k.v)
+		e.PutF64(w)
+	}
+	// Isolated owned vertices have no arcs but must survive as vertices
+	// of the merged graph; ship a zero-weight marker to their community
+	// owner so the community remains live.
+	markers := make(map[int]bool)
+	for _, u := range lv.ownedActive {
+		markers[lv.comm[u]] = true
+	}
+	for cu := range markers {
+		if _, ok := acc[key{cu, cu}]; ok {
+			continue
+		}
+		dstRank := ownerOf(cu, lv.p)
+		if encs[dstRank] == nil {
+			encs[dstRank] = mpi.NewEncoder(64)
+		}
+		e := encs[dstRank]
+		e.PutInt(cu)
+		e.PutInt(cu)
+		e.PutF64(0)
+	}
+
+	bufs := make([][]byte, lv.p)
+	for r, e := range encs {
+		if e != nil {
+			bufs[r] = e.Bytes()
+		}
+	}
+	recv := lv.c.Alltoallv(bufs)
+	var arcs []mergedArc
+	for _, b := range recv {
+		d := mpi.NewDecoder(b)
+		for d.Remaining() > 0 {
+			arcs = append(arcs, mergedArc{U: d.Int(), V: d.Int(), W: d.F64()})
+		}
+	}
+	return arcs
+}
+
+// gatherAssignments allgathers (vertex, community) for this rank's
+// owned live vertices, so every rank can project the level's result
+// onto deeper state. The merged levels this runs on are small, which is
+// why the paper switches to plain 1D partitioning after the first merge.
+func (lv *level) gatherAssignments() map[int]int {
+	e := mpi.NewEncoder(len(lv.ownedActive) * 16)
+	for _, u := range lv.ownedActive {
+		e.PutInt(u)
+		e.PutInt(lv.comm[u])
+	}
+	parts := lv.c.AllgatherBytes(e.Bytes())
+	out := make(map[int]int)
+	for _, b := range parts {
+		d := mpi.NewDecoder(b)
+		for d.Remaining() > 0 {
+			u := d.Int()
+			out[u] = d.Int()
+		}
+	}
+	return out
+}

@@ -1,0 +1,257 @@
+package core
+
+import (
+	"time"
+
+	"dinfomap/internal/mapeq"
+	"dinfomap/internal/mpi"
+	"dinfomap/internal/trace"
+)
+
+// phaseCosts accumulates one rank's modeled cost per phase.
+type phaseCosts map[string]trace.RankCost
+
+func (pc phaseCosts) add(name string, c trace.RankCost) {
+	cur := pc[name]
+	cur.Ops += c.Ops
+	cur.Msgs += c.Msgs
+	cur.Bytes += c.Bytes
+	pc[name] = cur
+}
+
+// commDelta returns the sent-side traffic between two stats snapshots.
+func commDelta(before, after mpi.Stats) (msgs, bytes int64) {
+	return (after.MsgsSent + after.CollectiveMsgs) - (before.MsgsSent + before.CollectiveMsgs),
+		(after.BytesSent + after.CollectiveBytes) - (before.BytesSent + before.CollectiveBytes)
+}
+
+// clusterOutcome reports one level's converged clustering.
+type clusterOutcome struct {
+	iterations int
+	finalL     float64
+	numModules int64
+	liveBefore int64
+}
+
+// cluster runs the synchronized clustering loop on one level
+// (Algorithm 2, lines 2-7 with delegates, lines 10-14 without):
+// sweep, broadcast delegates, swap boundary info, refresh, until no rank
+// moves a vertex. costs receives this rank's per-phase work/traffic.
+func (lv *level) cluster(costs phaseCosts) clusterOutcome {
+	out := clusterOutcome{}
+	out.liveBefore = lv.c.AllreduceI64(int64(len(lv.ownedActive)), mpi.OpSum)
+
+	// Iteration-0 refresh: exact singleton aggregates everywhere.
+	before := lv.c.Stats()
+	out.numModules = lv.refresh()
+	msgs, bytes := commDelta(before, lv.c.Stats())
+	costs.add(trace.PhaseOther, trace.RankCost{Msgs: msgs, Bytes: bytes})
+
+	s := lv.newScratch()
+	bestL := lv.agg.L()
+	stalled := 0
+	for iter := 0; iter < lv.cfg.MaxSweeps; iter++ {
+		// --- FindBestModule ---
+		lv.timer.Start(trace.PhaseFindBestModule)
+		evalsBefore := lv.deltaEvals
+		lv.dampP = dampProb(iter)
+		moves, deferred, cands := lv.sweep(s, passBudget(iter))
+		lv.timer.Stop(trace.PhaseFindBestModule)
+		costs.add(trace.PhaseFindBestModule, trace.RankCost{Ops: lv.deltaEvals - evalsBefore})
+
+		// --- BroadcastDelegates ---
+		lv.timer.Start(trace.PhaseBcastDelegates)
+		before = lv.c.Stats()
+		hubMoves := lv.broadcastDelegates(cands)
+		msgs, bytes = commDelta(before, lv.c.Stats())
+		lv.timer.Stop(trace.PhaseBcastDelegates)
+		costs.add(trace.PhaseBcastDelegates, trace.RankCost{
+			Ops: int64(len(cands)), Msgs: msgs, Bytes: bytes,
+		})
+
+		// --- SwapBoundaryInfo ---
+		lv.timer.Start(trace.PhaseSwapBoundary)
+		before = lv.c.Stats()
+		lv.swapGhostComms()
+		msgs, bytes = commDelta(before, lv.c.Stats())
+		lv.timer.Stop(trace.PhaseSwapBoundary)
+		costs.add(trace.PhaseSwapBoundary, trace.RankCost{
+			Ops: int64(len(lv.ghosts)), Msgs: msgs, Bytes: bytes,
+		})
+
+		// --- Other: module refresh + MDL reduction + convergence vote ---
+		lv.timer.Start(trace.PhaseOther)
+		before = lv.c.Stats()
+		out.numModules = lv.refresh()
+		total := lv.c.AllreduceI64(int64(moves+hubMoves+deferred), mpi.OpSum)
+		msgs, bytes = commDelta(before, lv.c.Stats())
+		lv.timer.Stop(trace.PhaseOther)
+		costs.add(trace.PhaseOther, trace.RankCost{
+			Ops: int64(len(lv.mods)), Msgs: msgs, Bytes: bytes,
+		})
+
+		out.iterations++
+		if total == 0 {
+			break
+		}
+		// Section 3.4: the loop also ends when there is "no more MDL
+		// optimization" — simultaneous conflicting moves can keep the
+		// move count positive indefinitely while the codelength has
+		// effectively plateaued or oscillates. A round counts as a
+		// stall unless it beats the best codelength seen so far by a
+		// relative margin (~0.05%); two consecutive stalls end the
+		// stage.
+		l := lv.agg.L()
+		if lv.dampP > 0 {
+			// While damping defers moves, non-improving rounds are
+			// expected; the stall guard engages once it decays.
+			if l < bestL {
+				bestL = l
+			}
+			continue
+		}
+		stallEps := lv.cfg.Theta
+		if rel := 5e-4 * bestL; rel > stallEps {
+			stallEps = rel
+		}
+		if l >= bestL-stallEps {
+			stalled++
+			if stalled >= 2 {
+				break
+			}
+		} else {
+			stalled = 0
+		}
+		if l < bestL {
+			bestL = l
+		}
+	}
+	out.finalL = lv.agg.L()
+	return out
+}
+
+// rankMain is the SPMD program each simulated rank executes: the full
+// Algorithm 2.
+func (rs *runState) rankMain(c *mpi.Comm) {
+	cfg := rs.cfg
+	rank := c.Rank()
+	p := c.Size()
+
+	// ---- Stage 1: parallel clustering with delegates ----
+	flow := rs.flow
+	lv := newStage1Level(c, cfg, rs.layout, flow.P, flow.Exit, flow.Norm(),
+		flow.SumPlogpP, cfg.Seed)
+
+	costs1 := make(phaseCosts)
+	t0 := time.Now()
+	oc := lv.cluster(costs1)
+	wall1 := time.Since(t0)
+
+	initialL := initialCodelengthOf(lv)
+	mdlTrace := []float64{oc.finalL}
+	n0 := int64(lv.idSpace)
+	mergeRate := []float64{float64(oc.liveBefore-oc.numModules) / float64(n0)}
+	iters1 := oc.iterations
+	deltaEvals := lv.deltaEvals
+
+	// Projection bookkeeping: this rank's owned original vertices.
+	ownedOrig := make([]int, 0, lv.idSpace/p+1)
+	for u := rank; u < lv.idSpace; u += p {
+		ownedOrig = append(ownedOrig, u)
+	}
+	origComm := make([]int, len(ownedOrig))
+	for i, u := range ownedOrig {
+		origComm[i] = lv.comm[u]
+	}
+
+	// ---- Stage 2: merge, then parallel clustering without delegates ----
+	costs2 := make(phaseCosts)
+	t0 = time.Now()
+	prevL := oc.finalL
+	prevLive := oc.numModules
+	iters2 := 0
+	idSpace := lv.idSpace
+	vertexTerm := lv.vertexTerm
+	cur := lv
+	for outer := 1; outer < cfg.MaxOuterIterations; outer++ {
+		if prevLive <= 1 {
+			break
+		}
+		arcs := cur.mergeShuffle()
+		merged := newMergedLevel(c, cfg, idSpace, arcs, vertexTerm, cfg.Seed, outer)
+		oc = merged.cluster(costs2)
+		iters2 += oc.iterations
+		deltaEvals += merged.deltaEvals
+
+		next := merged.gatherAssignments()
+		for i := range origComm {
+			nc, ok := next[origComm[i]]
+			checkf(ok, "rank %d: community %d missing from gathered assignment", rank, origComm[i])
+			origComm[i] = nc
+		}
+		mdlTrace = append(mdlTrace, oc.finalL)
+		mergeRate = append(mergeRate, float64(oc.liveBefore-oc.numModules)/float64(n0))
+		improved := prevL - oc.finalL
+		noMerge := oc.numModules == oc.liveBefore
+		prevL = oc.finalL
+		prevLive = oc.numModules
+		cur = merged
+		if improved < cfg.Theta || noMerge {
+			break
+		}
+	}
+	wall2 := time.Since(t0)
+
+	// ---- Final gather: full assignment of original vertices ----
+	e := mpi.NewEncoder(len(ownedOrig) * 16)
+	for i, u := range ownedOrig {
+		e.PutInt(u)
+		e.PutInt(origComm[i])
+	}
+	parts := c.AllgatherBytes(e.Bytes())
+	full := make([]int, idSpace)
+	for _, b := range parts {
+		d := mpi.NewDecoder(b)
+		for d.Remaining() > 0 {
+			u := d.Int()
+			full[u] = d.Int()
+		}
+	}
+
+	// Publish per-rank measurements through the shared runState (each
+	// rank writes only its own slot; rank 0 additionally writes the
+	// rank-identical outputs).
+	rs.perRankPhase[rank] = costs1
+	var stage2Total trace.RankCost
+	for _, c := range costs2 {
+		stage2Total.Ops += c.Ops
+		stage2Total.Msgs += c.Msgs
+		stage2Total.Bytes += c.Bytes
+	}
+	rs.perRankStage2[rank] = stage2Total
+	rs.perRankWall1[rank] = wall1
+	rs.perRankWall2[rank] = wall2
+	rs.perRankEvals[rank] = deltaEvals
+	if rank == 0 {
+		rs.out.communities = full
+		rs.out.mdlTrace = mdlTrace
+		rs.out.mergeRate = mergeRate
+		rs.out.initialL = initialL
+		rs.out.stage1Iters = iters1
+		rs.out.stage2Iters = iters2
+	}
+}
+
+// initialCodelengthOf returns the all-singleton codelength of the
+// original graph, computable locally from the preprocessing flow.
+func initialCodelengthOf(lv *level) float64 {
+	// Every vertex is a singleton module: aggregates follow directly
+	// from the global flow arrays, identically on every rank.
+	var q, qlogq, qplogqp float64
+	for v := 0; v < lv.idSpace; v++ {
+		q += lv.exitP[v]
+		qlogq += mapeq.PlogP(lv.exitP[v])
+		qplogqp += mapeq.PlogP(lv.exitP[v] + lv.visit[v])
+	}
+	return mapeq.PlogP(q) - 2*qlogq - lv.vertexTerm + qplogqp
+}

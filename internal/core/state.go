@@ -1,0 +1,373 @@
+package core
+
+import (
+	"sort"
+
+	"dinfomap/internal/gen"
+	"dinfomap/internal/mapeq"
+	"dinfomap/internal/mpi"
+	"dinfomap/internal/partition"
+	"dinfomap/internal/trace"
+)
+
+// level is one rank's state for one clustering level: the level-0 graph
+// under delegate partitioning (stage 1), or a merged graph under 1D
+// partitioning (stage 2 and deeper).
+//
+// Vertex ids live in a fixed id space [0, idSpace); at merged levels the
+// live ids are the community founder ids, a sparse subset. Ownership is
+// always id mod P.
+type level struct {
+	c   *mpi.Comm
+	cfg *Config
+
+	idSpace int
+	p, rank int
+
+	// Local evaluation adjacency in CSR form: vertex evalVerts[i]
+	// evaluates neighbors adjV[evalOff[i]:evalOff[i+1]].
+	evalVerts []int
+	evalOff   []int
+	adjV      []int
+	adjW      []float64
+
+	// isHub marks delegated vertices; nil at delegate-free levels.
+	isHub []bool
+	// hubs lists delegated vertex ids (identical on all ranks).
+	hubs []int
+	// ownedActive lists the live vertex ids owned by this rank.
+	ownedActive []int
+	// ghosts lists visible non-owned, non-hub vertex ids.
+	ghosts []int
+	// subscribers maps an owned vertex to the ranks ghosting it.
+	subscribers map[int][]int
+
+	// Flow quantities, indexed by vertex id; only visible entries are
+	// read. vertexTerm is the constant original-graph term of Eq. 3.
+	visit      []float64
+	exitP      []float64
+	inv2W      float64
+	vertexTerm float64
+
+	// comm is the locally known assignment; valid for visible vertices.
+	comm []int
+	// mods is the locally known module table. It is mutated by local
+	// moves during a sweep and rebuilt to authoritative values at every
+	// refresh.
+	mods map[int]mapeq.Module
+	// delivered caches the last authoritative statistics received for
+	// each module. isSent short-form responses resolve against this
+	// cache — NOT against mods, whose entries may be dirty from the
+	// local sweep's optimistic updates.
+	delivered map[int]mapeq.Module
+	// agg holds the global Eq. 3 aggregates, exact after each refresh
+	// and updated optimistically by local moves during a sweep.
+	agg mapeq.Aggregates
+	// refAgg is the refresh-time snapshot of agg, identical on all
+	// ranks; delegate decisions evaluate against it so every rank
+	// reaches the same verdict.
+	refAgg mapeq.Aggregates
+	// hubFromStats snapshots, at refresh time, the stats of the module
+	// currently holding each hub (identical on all ranks).
+	hubFromStats map[int]mapeq.Module
+	// evalIndex maps a vertex id to its position in evalVerts.
+	evalIndex map[int]int
+	// visList caches the visible vertex ids, sorted.
+	visList []int
+	// ownedStats is the authoritative statistics of modules homed on
+	// this rank, rebuilt by every refresh.
+	ownedStats map[int]mapeq.Module
+	// modVersion counts stat changes of modules owned by this rank
+	// (home = id mod P); used for isSent deduplication.
+	modVersion map[int]int
+	// sentVersion[dst][mod] is the version last sent to rank dst.
+	sentVersion []map[int]int
+
+	timer      *trace.Timer
+	rng        *gen.RNG
+	deltaEvals int64
+	// dampP is the current remote-move deferral probability (set per
+	// synchronized round by cluster; see dampProb).
+	dampP float64
+	// deferred counts remote moves deferred by damping in the latest
+	// pass; deferred work keeps the convergence vote alive.
+	deferred int
+}
+
+// visibleSet returns every vertex id this rank sees: eval vertices,
+// their neighbors, owned vertices, and hubs.
+func (lv *level) visibleSet() map[int]bool {
+	vis := make(map[int]bool)
+	for _, u := range lv.evalVerts {
+		vis[u] = true
+	}
+	for _, v := range lv.adjV {
+		vis[v] = true
+	}
+	for _, u := range lv.ownedActive {
+		vis[u] = true
+	}
+	for _, h := range lv.hubs {
+		vis[h] = true
+	}
+	return vis
+}
+
+// initLocalState initializes the singleton assignment, the module
+// table, ghost lists, and ghost subscriptions. Called by both level
+// constructors after the adjacency is in place.
+func (lv *level) initLocalState() {
+	vis := lv.visibleSet()
+	lv.visList = make([]int, 0, len(vis))
+	for v := range vis {
+		lv.visList = append(lv.visList, v)
+	}
+	sort.Ints(lv.visList)
+	lv.comm = make([]int, lv.idSpace)
+	for v := range lv.comm {
+		lv.comm[v] = v
+	}
+	lv.mods = make(map[int]mapeq.Module, len(vis))
+	for v := range vis {
+		lv.mods[v] = mapeq.Module{SumPr: lv.visit[v], ExitPr: lv.exitP[v], Members: 1}
+	}
+	lv.modVersion = make(map[int]int)
+	lv.sentVersion = make([]map[int]int, lv.p)
+	for r := range lv.sentVersion {
+		lv.sentVersion[r] = make(map[int]int)
+	}
+
+	// Ghosts: visible, not owned, not a hub.
+	lv.ghosts = lv.ghosts[:0]
+	for v := range vis {
+		if ownerOf(v, lv.p) != lv.rank && (lv.isHub == nil || !lv.isHub[v]) {
+			lv.ghosts = append(lv.ghosts, v)
+		}
+	}
+	sort.Ints(lv.ghosts)
+
+	// Ghost registration: tell each ghost's owner that this rank needs
+	// updates for it. This is part of preprocessing in the paper.
+	bufs := make([][]byte, lv.p)
+	encs := make([]*mpi.Encoder, lv.p)
+	for _, v := range lv.ghosts {
+		o := ownerOf(v, lv.p)
+		if encs[o] == nil {
+			encs[o] = mpi.NewEncoder(64)
+		}
+		encs[o].PutInt(v)
+	}
+	for r, e := range encs {
+		if e != nil {
+			bufs[r] = e.Bytes()
+		}
+	}
+	recv := lv.c.Alltoallv(bufs)
+	lv.subscribers = make(map[int][]int)
+	for src, b := range recv {
+		d := mpi.NewDecoder(b)
+		for d.Remaining() > 0 {
+			v := d.Int()
+			lv.subscribers[v] = append(lv.subscribers[v], src)
+		}
+	}
+}
+
+// newStage1Level builds the delegate-partitioned level from the global
+// layout and flow (preprocessing products).
+func newStage1Level(c *mpi.Comm, cfg *Config, layout *partition.Layout,
+	visit, exitP []float64, inv2W, vertexTerm float64, seed uint64) *level {
+
+	rank := c.Rank()
+	lv := &level{
+		c: c, cfg: cfg,
+		idSpace: len(layout.Owner),
+		p:       c.Size(), rank: rank,
+		isHub:      layout.IsHub,
+		visit:      visit,
+		exitP:      exitP,
+		inv2W:      inv2W,
+		vertexTerm: vertexTerm,
+		timer:      trace.NewTimer(),
+		rng:        gen.NewRNG(seed ^ (uint64(rank)+1)*0x9e3779b97f4a7c15),
+	}
+	for v := 0; v < lv.idSpace; v++ {
+		if layout.IsHub[v] {
+			lv.hubs = append(lv.hubs, v)
+		}
+		if ownerOf(v, lv.p) == rank {
+			lv.ownedActive = append(lv.ownedActive, v)
+		}
+	}
+
+	// Group this rank's arcs by evaluation vertex into CSR.
+	arcs := layout.RankArcs[rank]
+	counts := make(map[int]int)
+	for _, a := range arcs {
+		counts[a.U]++
+	}
+	lv.evalVerts = make([]int, 0, len(counts))
+	for u := range counts {
+		lv.evalVerts = append(lv.evalVerts, u)
+	}
+	sort.Ints(lv.evalVerts)
+	index := make(map[int]int, len(lv.evalVerts))
+	lv.evalOff = make([]int, len(lv.evalVerts)+1)
+	for i, u := range lv.evalVerts {
+		index[u] = i
+		lv.evalOff[i+1] = lv.evalOff[i] + counts[u]
+	}
+	lv.evalIndex = index
+	lv.adjV = make([]int, len(arcs))
+	lv.adjW = make([]float64, len(arcs))
+	cursor := make([]int, len(lv.evalVerts))
+	copy(cursor, lv.evalOff[:len(lv.evalVerts)])
+	for _, a := range arcs {
+		i := index[a.U]
+		w := a.W
+		if a.U == a.V {
+			// Level-0 self-loops are stored once in the input graph;
+			// merged levels store self-arcs with twice the intra
+			// weight (both contraction directions land on the same
+			// arc). Doubling here unifies the convention, so flow and
+			// merge code treat every level identically.
+			w *= 2
+		}
+		lv.adjV[cursor[i]] = a.V
+		lv.adjW[cursor[i]] = w
+		cursor[i]++
+	}
+
+	lv.initLocalState()
+	return lv
+}
+
+// mergedArc is one contracted arc received during distributed merging.
+type mergedArc struct {
+	U, V int
+	W    float64
+}
+
+// newMergedLevel builds a 1D-partitioned level from the contracted arcs
+// this rank received in the merge shuffle (owned vertex u -> full
+// adjacency of u, self-arcs carrying twice the intra weight).
+func newMergedLevel(c *mpi.Comm, cfg *Config, idSpace int, arcs []mergedArc,
+	vertexTerm float64, seed uint64, round int) *level {
+
+	rank := c.Rank()
+	lv := &level{
+		c: c, cfg: cfg,
+		idSpace: idSpace,
+		p:       c.Size(), rank: rank,
+		vertexTerm: vertexTerm,
+		timer:      trace.NewTimer(),
+		rng:        gen.NewRNG(seed ^ (uint64(rank)+7)*0xbf58476d1ce4e5b9 ^ uint64(round)<<32),
+	}
+
+	// Accumulate parallel arcs: (u, v) pairs may arrive from several
+	// source ranks.
+	type key struct{ u, v int }
+	acc := make(map[key]float64, len(arcs))
+	for _, a := range arcs {
+		acc[key{a.U, a.V}] += a.W
+	}
+	counts := make(map[int]int)
+	for k := range acc {
+		counts[k.u]++
+	}
+	lv.evalVerts = make([]int, 0, len(counts))
+	for u := range counts {
+		lv.evalVerts = append(lv.evalVerts, u)
+	}
+	sort.Ints(lv.evalVerts)
+	index := make(map[int]int, len(lv.evalVerts))
+	lv.evalOff = make([]int, len(lv.evalVerts)+1)
+	for i, u := range lv.evalVerts {
+		index[u] = i
+		lv.evalOff[i+1] = lv.evalOff[i] + counts[u]
+	}
+	lv.evalIndex = index
+	lv.adjV = make([]int, len(acc))
+	lv.adjW = make([]float64, len(acc))
+	cursor := make([]int, len(lv.evalVerts))
+	copy(cursor, lv.evalOff[:len(lv.evalVerts)])
+	for k, w := range acc {
+		i := index[k.u]
+		lv.adjV[cursor[i]] = k.v
+		lv.adjW[cursor[i]] = w
+		cursor[i]++
+	}
+	// Deterministic neighbor order (map iteration scrambles it).
+	for i := range lv.evalVerts {
+		lo, hi := lv.evalOff[i], lv.evalOff[i+1]
+		sortAdjPair(lv.adjV[lo:hi], lv.adjW[lo:hi])
+	}
+	lv.ownedActive = append(lv.ownedActive, lv.evalVerts...)
+
+	// Flow exchange: every owner knows the full adjacency of its
+	// vertices, so it computes their strength locally; an allgather
+	// shares (id, strength, selfWeight) so each rank can fill in the
+	// flow of its ghosts. The merged graph is orders of magnitude
+	// smaller than the original (paper Section 3.2), so this collective
+	// is cheap.
+	e := mpi.NewEncoder(len(lv.evalVerts) * 24)
+	strengths := make(map[int][2]float64, len(lv.evalVerts)) // id -> {strength, selfW}
+	for i, u := range lv.evalVerts {
+		strength, selfW := 0.0, 0.0
+		for j := lv.evalOff[i]; j < lv.evalOff[i+1]; j++ {
+			if lv.adjV[j] == u {
+				selfW += lv.adjW[j] / 2 // self-arc accumulated both directions
+				strength += lv.adjW[j]
+			} else {
+				strength += lv.adjW[j]
+			}
+		}
+		strengths[u] = [2]float64{strength, selfW}
+		e.PutInt(u)
+		e.PutF64(strength)
+		e.PutF64(selfW)
+	}
+	parts := lv.c.AllgatherBytes(e.Bytes())
+	lv.visit = make([]float64, idSpace)
+	lv.exitP = make([]float64, idSpace)
+	totalStrength := 0.0
+	type flowRec struct{ strength, selfW float64 }
+	all := make(map[int]flowRec)
+	for _, b := range parts {
+		d := mpi.NewDecoder(b)
+		for d.Remaining() > 0 {
+			u := d.Int()
+			s := d.F64()
+			sw := d.F64()
+			all[u] = flowRec{s, sw}
+			totalStrength += s
+		}
+	}
+	// totalStrength = 2W of the merged graph (= 2W of the original).
+	if totalStrength > 0 {
+		lv.inv2W = 1 / totalStrength
+	}
+	for u, fr := range all {
+		lv.visit[u] = fr.strength * lv.inv2W
+		lv.exitP[u] = (fr.strength - 2*fr.selfW) * lv.inv2W
+	}
+
+	lv.initLocalState()
+	return lv
+}
+
+func sortAdjPair(v []int, w []float64) {
+	idx := make([]int, len(v))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return v[idx[a]] < v[idx[b]] })
+	nv := make([]int, len(v))
+	nw := make([]float64, len(w))
+	for i, j := range idx {
+		nv[i] = v[j]
+		nw[i] = w[j]
+	}
+	copy(v, nv)
+	copy(w, nw)
+}

@@ -1,0 +1,281 @@
+// Package digraph provides the directed CSR graph used by the directed
+// Infomap extension (the paper, Section 2.2: "the Infomap algorithm can
+// be applied on both undirected and directed graphs. Therefore, our
+// work can be easily extended to directed graphs").
+//
+// Both out- and in-adjacency are materialized: the map equation's move
+// deltas need a vertex's links in both directions.
+package digraph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Graph is an immutable directed graph with parallel-arc merging.
+type Graph struct {
+	outOff []int
+	outV   []int
+	outW   []float64
+	inOff  []int
+	inV    []int
+	inW    []float64
+
+	numArcs     int
+	totalWeight float64
+}
+
+// NumVertices returns the vertex count.
+func (g *Graph) NumVertices() int {
+	if len(g.outOff) == 0 {
+		return 0
+	}
+	return len(g.outOff) - 1
+}
+
+// NumArcs returns the number of distinct directed arcs.
+func (g *Graph) NumArcs() int { return g.numArcs }
+
+// TotalWeight returns the sum of arc weights.
+func (g *Graph) TotalWeight() float64 { return g.totalWeight }
+
+// OutDegree returns the number of distinct out-neighbors of u.
+func (g *Graph) OutDegree(u int) int { return g.outOff[u+1] - g.outOff[u] }
+
+// InDegree returns the number of distinct in-neighbors of u.
+func (g *Graph) InDegree(u int) int { return g.inOff[u+1] - g.inOff[u] }
+
+// OutStrength returns the total weight of arcs leaving u.
+func (g *Graph) OutStrength(u int) float64 {
+	s := 0.0
+	for i := g.outOff[u]; i < g.outOff[u+1]; i++ {
+		s += g.outW[i]
+	}
+	return s
+}
+
+// OutNeighbors calls fn for every arc (u -> v, w).
+func (g *Graph) OutNeighbors(u int, fn func(v int, w float64)) {
+	for i := g.outOff[u]; i < g.outOff[u+1]; i++ {
+		fn(g.outV[i], g.outW[i])
+	}
+}
+
+// InNeighbors calls fn for every arc (v -> u, w), i.e. arcs arriving
+// at u.
+func (g *Graph) InNeighbors(u int, fn func(v int, w float64)) {
+	for i := g.inOff[u]; i < g.inOff[u+1]; i++ {
+		fn(g.inV[i], g.inW[i])
+	}
+}
+
+// ArcWeight returns the weight of arc (u -> v), or 0 if absent.
+func (g *Graph) ArcWeight(u, v int) float64 {
+	lo, hi := g.outOff[u], g.outOff[u+1]
+	adj := g.outV[lo:hi]
+	i := sort.SearchInts(adj, v)
+	if i < len(adj) && adj[i] == v {
+		return g.outW[lo+i]
+	}
+	return 0
+}
+
+// Validate checks structural invariants (sorted adjacency, in/out
+// consistency, counters).
+func (g *Graph) Validate() error {
+	n := g.NumVertices()
+	if len(g.inOff) != len(g.outOff) {
+		return fmt.Errorf("digraph: in/out offset arrays differ: %d vs %d", len(g.inOff), len(g.outOff))
+	}
+	arcs := 0
+	var w float64
+	for u := 0; u < n; u++ {
+		prev := -1
+		for i := g.outOff[u]; i < g.outOff[u+1]; i++ {
+			v := g.outV[i]
+			if v < 0 || v >= n {
+				return fmt.Errorf("digraph: arc (%d,%d) out of range", u, v)
+			}
+			if v <= prev {
+				return fmt.Errorf("digraph: out-adjacency of %d not sorted", u)
+			}
+			prev = v
+			if g.outW[i] <= 0 || math.IsNaN(g.outW[i]) {
+				return fmt.Errorf("digraph: bad weight on (%d,%d)", u, v)
+			}
+			// The reverse view must carry the identical weight.
+			found := false
+			for j := g.inOff[v]; j < g.inOff[v+1]; j++ {
+				if g.inV[j] == u {
+					if g.inW[j] != g.outW[i] {
+						return fmt.Errorf("digraph: arc (%d,%d) weight mismatch in reverse view", u, v)
+					}
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("digraph: arc (%d,%d) missing from reverse view", u, v)
+			}
+			arcs++
+			w += g.outW[i]
+		}
+	}
+	if arcs != g.numArcs {
+		return fmt.Errorf("digraph: numArcs %d, counted %d", g.numArcs, arcs)
+	}
+	if math.Abs(w-g.totalWeight) > 1e-9*(1+w) {
+		return fmt.Errorf("digraph: totalWeight %v, counted %v", g.totalWeight, w)
+	}
+	return nil
+}
+
+// Builder accumulates directed arcs; parallel arcs merge by summing.
+type Builder struct {
+	n  int
+	us []int
+	vs []int
+	ws []float64
+}
+
+// NewBuilder returns a Builder for n vertices (auto-growing).
+func NewBuilder(n int) *Builder { return &Builder{n: n} }
+
+// AddArc records the directed arc u -> v with weight 1.
+func (b *Builder) AddArc(u, v int) { b.AddWeightedArc(u, v, 1) }
+
+// AddWeightedArc records the directed arc u -> v with weight w.
+// Self-arcs are allowed.
+func (b *Builder) AddWeightedArc(u, v int, w float64) {
+	if u < 0 || v < 0 {
+		panic(fmt.Sprintf("digraph: negative vertex in arc (%d,%d)", u, v))
+	}
+	if w <= 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+		panic(fmt.Sprintf("digraph: invalid weight %v on arc (%d,%d)", w, u, v))
+	}
+	if u >= b.n {
+		b.n = u + 1
+	}
+	if v >= b.n {
+		b.n = v + 1
+	}
+	b.us = append(b.us, u)
+	b.vs = append(b.vs, v)
+	b.ws = append(b.ws, w)
+}
+
+// Build produces the immutable directed graph.
+func (b *Builder) Build() *Graph {
+	n := b.n
+	outOff, outV, outW := buildCSR(n, b.us, b.vs, b.ws)
+	inOff, inV, inW := buildCSR(n, b.vs, b.us, b.ws)
+	g := &Graph{
+		outOff: outOff, outV: outV, outW: outW,
+		inOff: inOff, inV: inV, inW: inW,
+	}
+	g.numArcs = len(outV)
+	for _, w := range outW {
+		g.totalWeight += w
+	}
+	return g
+}
+
+// buildCSR constructs a sorted, merged CSR from arc records.
+func buildCSR(n int, src, dst []int, w []float64) (off, adj []int, wt []float64) {
+	deg := make([]int, n+1)
+	for _, u := range src {
+		deg[u]++
+	}
+	off = make([]int, n+1)
+	for u := 0; u < n; u++ {
+		off[u+1] = off[u] + deg[u]
+	}
+	adj = make([]int, off[n])
+	wt = make([]float64, off[n])
+	cursor := make([]int, n)
+	copy(cursor, off[:n])
+	for i := range src {
+		u := src[i]
+		adj[cursor[u]] = dst[i]
+		wt[cursor[u]] = w[i]
+		cursor[u]++
+	}
+	// Sort each row and merge duplicates.
+	out := 0
+	newOff := make([]int, n+1)
+	for u := 0; u < n; u++ {
+		lo, hi := off[u], off[u+1]
+		sortPair(adj[lo:hi], wt[lo:hi])
+		start := out
+		for i := lo; i < hi; i++ {
+			if out > start && adj[out-1] == adj[i] {
+				wt[out-1] += wt[i]
+				continue
+			}
+			adj[out] = adj[i]
+			wt[out] = wt[i]
+			out++
+		}
+		newOff[u+1] = out
+	}
+	return newOff, adj[:out:out], wt[:out:out]
+}
+
+func sortPair(v []int, w []float64) {
+	idx := make([]int, len(v))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return v[idx[a]] < v[idx[b]] })
+	nv := make([]int, len(v))
+	nw := make([]float64, len(w))
+	for i, j := range idx {
+		nv[i] = v[j]
+		nw[i] = w[j]
+	}
+	copy(v, nv)
+	copy(w, nw)
+}
+
+// ReadArcList parses "u v [w]" lines into a directed graph.
+func ReadArcList(r io.Reader) (*Graph, error) {
+	b := NewBuilder(0)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == '#' || line[0] == '%' {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("digraph: line %d: want 2+ fields", lineno)
+		}
+		u, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("digraph: line %d: %v", lineno, err)
+		}
+		v, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("digraph: line %d: %v", lineno, err)
+		}
+		w := 1.0
+		if len(fields) >= 3 {
+			if w, err = strconv.ParseFloat(fields[2], 64); err != nil || w <= 0 {
+				return nil, fmt.Errorf("digraph: line %d: bad weight", lineno)
+			}
+		}
+		b.AddWeightedArc(u, v, w)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return b.Build(), nil
+}

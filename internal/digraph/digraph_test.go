@@ -1,0 +1,135 @@
+package digraph
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyGraph(t *testing.T) {
+	g := NewBuilder(0).Build()
+	if g.NumVertices() != 0 || g.NumArcs() != 0 {
+		t.Fatalf("n=%d arcs=%d", g.NumVertices(), g.NumArcs())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBasicArcs(t *testing.T) {
+	b := NewBuilder(3)
+	b.AddArc(0, 1)
+	b.AddArc(1, 2)
+	b.AddArc(2, 0)
+	g := b.Build()
+	if g.NumArcs() != 3 {
+		t.Fatalf("NumArcs = %d, want 3", g.NumArcs())
+	}
+	if g.ArcWeight(0, 1) != 1 || g.ArcWeight(1, 0) != 0 {
+		t.Fatal("direction not respected")
+	}
+	if g.OutDegree(0) != 1 || g.InDegree(0) != 1 {
+		t.Fatalf("degrees of 0: out=%d in=%d", g.OutDegree(0), g.InDegree(0))
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParallelArcsMerged(t *testing.T) {
+	b := NewBuilder(2)
+	b.AddWeightedArc(0, 1, 2)
+	b.AddWeightedArc(0, 1, 3)
+	g := b.Build()
+	if g.NumArcs() != 1 {
+		t.Fatalf("NumArcs = %d, want 1", g.NumArcs())
+	}
+	if g.ArcWeight(0, 1) != 5 {
+		t.Fatalf("merged weight = %v, want 5", g.ArcWeight(0, 1))
+	}
+}
+
+func TestSelfArc(t *testing.T) {
+	b := NewBuilder(1)
+	b.AddWeightedArc(0, 0, 2)
+	g := b.Build()
+	if g.ArcWeight(0, 0) != 2 {
+		t.Fatal("self arc lost")
+	}
+	if g.OutStrength(0) != 2 {
+		t.Fatalf("OutStrength = %v", g.OutStrength(0))
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInOutConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	b := NewBuilder(20)
+	for i := 0; i < 100; i++ {
+		b.AddArc(rng.Intn(20), rng.Intn(20))
+	}
+	g := b.Build()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Total out-strength equals total in-flow equals total weight.
+	outSum, inSum := 0.0, 0.0
+	for u := 0; u < 20; u++ {
+		outSum += g.OutStrength(u)
+		g.InNeighbors(u, func(v int, w float64) { inSum += w })
+	}
+	if outSum != g.TotalWeight() || inSum != g.TotalWeight() {
+		t.Fatalf("out=%v in=%v total=%v", outSum, inSum, g.TotalWeight())
+	}
+}
+
+func TestBuilderPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"negative vertex": func() { NewBuilder(1).AddArc(-1, 0) },
+		"zero weight":     func() { NewBuilder(2).AddWeightedArc(0, 1, 0) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		})
+	}
+}
+
+func TestReadArcList(t *testing.T) {
+	g, err := ReadArcList(strings.NewReader("# comment\n0 1\n1 2 2.5\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumArcs() != 2 || g.ArcWeight(1, 2) != 2.5 {
+		t.Fatalf("arcs=%d w=%v", g.NumArcs(), g.ArcWeight(1, 2))
+	}
+	if _, err := ReadArcList(strings.NewReader("0\n")); err == nil {
+		t.Fatal("accepted malformed line")
+	}
+	if _, err := ReadArcList(strings.NewReader("0 1 -2\n")); err == nil {
+		t.Fatal("accepted negative weight")
+	}
+}
+
+// Property: every built digraph validates.
+func TestPropertyBuildValid(t *testing.T) {
+	f := func(seed int64, nRaw, mRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw)%30 + 1
+		b := NewBuilder(n)
+		for i := 0; i < int(mRaw); i++ {
+			b.AddArc(rng.Intn(n), rng.Intn(n))
+		}
+		return b.Build().Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,323 @@
+package dirinfomap
+
+import (
+	"math"
+
+	"dinfomap/internal/digraph"
+	"dinfomap/internal/gen"
+	"dinfomap/internal/graph"
+)
+
+// Config controls a directed Infomap run.
+type Config struct {
+	// Tau is the teleportation probability; <= 0 means DefaultTau.
+	Tau float64
+	// Theta is the outer-loop improvement threshold; <= 0 means 1e-10.
+	Theta float64
+	// MaxIterations bounds outer rounds; <= 0 means 25.
+	MaxIterations int
+	// MaxSweeps bounds inner sweeps per level; <= 0 means 100.
+	MaxSweeps int
+	// Seed randomizes visit order.
+	Seed uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Tau <= 0 {
+		c.Tau = DefaultTau
+	}
+	if c.Theta <= 0 {
+		c.Theta = 1e-10
+	}
+	if c.MaxIterations <= 0 {
+		c.MaxIterations = 25
+	}
+	if c.MaxSweeps <= 0 {
+		c.MaxSweeps = 100
+	}
+	return c
+}
+
+// Result reports a finished directed run.
+type Result struct {
+	// Communities assigns each vertex its final module (dense ids).
+	Communities []int
+	// NumModules is the number of final modules.
+	NumModules int
+	// Codelength is the final directed map equation value in bits.
+	Codelength float64
+	// InitialCodelength is L of the all-singleton partition.
+	InitialCodelength float64
+	// OuterIterations counts optimize+contract rounds.
+	OuterIterations int
+	// FlowIterations is how many power iterations the flow needed.
+	FlowIterations int
+}
+
+// dmod is one module's statistics during optimization.
+type dmod struct {
+	sumP     float64 // sum of visit rates
+	tele     float64 // sum of teleport masses
+	members  int     // original vertices contained
+	exitLink float64 // link flow leaving the module
+}
+
+// exitPr returns the module's exit probability: teleportation that
+// lands outside plus link flow that leaves.
+func (m dmod) exitPr(n0 int) float64 {
+	if m.members == 0 {
+		return 0
+	}
+	q := m.tele*float64(n0-m.members)/float64(n0) + m.exitLink
+	if q < 0 {
+		q = 0
+	}
+	return q
+}
+
+// Run executes directed Infomap on g.
+func Run(g *digraph.Graph, cfg Config) *Result {
+	cfg = cfg.withDefaults()
+	n := g.NumVertices()
+	res := &Result{Communities: make([]int, n)}
+	for u := range res.Communities {
+		res.Communities[u] = u
+	}
+	if n == 0 || g.TotalWeight() == 0 {
+		res.NumModules = n
+		return res
+	}
+	flow := NewFlow(g, cfg.Tau)
+	res.FlowIterations = flow.Iterations
+	nw := newLevel0(g, flow)
+	rng := gen.NewRNG(cfg.Seed + 0xc2b2ae35)
+
+	prevL := math.Inf(1)
+	for iter := 0; iter < cfg.MaxIterations; iter++ {
+		comm, l, initialL := optimizeNetwork(nw, flow.SumPlogpP, rng, cfg.MaxSweeps)
+		if iter == 0 {
+			res.InitialCodelength = initialL
+		}
+		dense, k := graph.Renumber(comm)
+		res.OuterIterations++
+		for u := range res.Communities {
+			res.Communities[u] = dense[res.Communities[u]]
+		}
+		res.Codelength = l
+		res.NumModules = k
+		if k == nw.size() || prevL-l < cfg.Theta && iter > 0 {
+			break
+		}
+		prevL = l
+		nw = nw.contract(dense, k)
+		if nw.size() <= 1 {
+			break
+		}
+	}
+	dense, k := graph.Renumber(res.Communities)
+	res.Communities = dense
+	res.NumModules = k
+	return res
+}
+
+// optimizeNetwork runs the greedy move loop on one level network,
+// starting from singletons.
+func optimizeNetwork(nw *network, vertexTerm float64, rng *gen.RNG, maxSweeps int) (comm []int, finalL, initialL float64) {
+	n := nw.size()
+	comm = make([]int, n)
+	mods := make([]dmod, n)
+	for u := 0; u < n; u++ {
+		comm[u] = u
+		mods[u] = dmod{
+			sumP:     nw.p[u],
+			tele:     nw.tele[u],
+			members:  nw.members[u],
+			exitLink: nw.outTotal(u),
+		}
+	}
+	agg := aggregate(mods, nw.n0, vertexTerm)
+	initialL = agg.l()
+
+	order := rng.Perm(n)
+	outTo := make([]float64, n)
+	inFrom := make([]float64, n)
+	var touched []int
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		moves := 0
+		rng.Shuffle(order)
+		for _, u := range order {
+			from := comm[u]
+			touched = touched[:0]
+			// Flows between u and each neighbor module.
+			for _, l := range nw.out[u] {
+				c := comm[l.to]
+				if outTo[c] == 0 && inFrom[c] == 0 {
+					touched = append(touched, c)
+				}
+				outTo[c] += l.flow
+			}
+			for _, l := range nw.in[u] {
+				c := comm[l.to]
+				if outTo[c] == 0 && inFrom[c] == 0 {
+					touched = append(touched, c)
+				}
+				inFrom[c] += l.flow
+			}
+			if len(touched) == 0 {
+				continue
+			}
+			uStat := nodeStat{
+				p: nw.p[u], tele: nw.tele[u],
+				members: nw.members[u], outTotal: nw.outTotal(u),
+			}
+			best := 0.0
+			bestC := from
+			for _, c := range touched {
+				if c == from {
+					continue
+				}
+				d := deltaMove(agg, nw.n0, mods[from], mods[c], uStat,
+					outTo[from], inFrom[from], outTo[c], inFrom[c])
+				if d < best-1e-15 {
+					best = d
+					bestC = c
+				}
+			}
+			if bestC != from {
+				var nf, nt dmod
+				agg, nf, nt = applyMove(agg, nw.n0, mods[from], mods[bestC], uStat,
+					outTo[from], inFrom[from], outTo[bestC], inFrom[bestC])
+				mods[from] = nf
+				mods[bestC] = nt
+				comm[u] = bestC
+				moves++
+			}
+			for _, c := range touched {
+				outTo[c] = 0
+				inFrom[c] = 0
+			}
+		}
+		if moves == 0 {
+			break
+		}
+	}
+	// Drift-free final codelength.
+	finalL = recomputeL(nw, comm, vertexTerm)
+	return comm, finalL, initialL
+}
+
+// aggregates for the directed map equation (same Eq. 3 form).
+type dagg struct {
+	qTotal     float64
+	sumQLogQ   float64
+	sumQPLogQP float64
+	vertexTerm float64
+}
+
+func (a dagg) l() float64 {
+	return plogp(a.qTotal) - 2*a.sumQLogQ - a.vertexTerm + a.sumQPLogQP
+}
+
+func aggregate(mods []dmod, n0 int, vertexTerm float64) dagg {
+	a := dagg{vertexTerm: vertexTerm}
+	for _, m := range mods {
+		if m.members == 0 {
+			continue
+		}
+		q := m.exitPr(n0)
+		a.qTotal += q
+		a.sumQLogQ += plogp(q)
+		a.sumQPLogQP += plogp(q + m.sumP)
+	}
+	return a
+}
+
+// nodeStat carries the moving node's own flow quantities.
+type nodeStat struct {
+	p, tele  float64
+	members  int
+	outTotal float64
+}
+
+// moveOutcome computes the updated modules after moving u from i to j.
+// outToI/inFromI are u's link flows to/from the *other* members of i;
+// outToJ/inFromJ its flows to/from j's members.
+func moveOutcome(n0 int, i, j dmod, u nodeStat, outToI, inFromI, outToJ, inFromJ float64) (ni, nj dmod) {
+	ni = dmod{
+		sumP:    i.sumP - u.p,
+		tele:    i.tele - u.tele,
+		members: i.members - u.members,
+		// Links u -> outside(i) leave with u; links i' -> u become exits.
+		exitLink: i.exitLink - (u.outTotal - outToI) + inFromI,
+	}
+	nj = dmod{
+		sumP:    j.sumP + u.p,
+		tele:    j.tele + u.tele,
+		members: j.members + u.members,
+		// u's links to non-j now exit from j; links j -> u stop exiting.
+		exitLink: j.exitLink + (u.outTotal - outToJ) - inFromJ,
+	}
+	if ni.members == 0 {
+		ni = dmod{}
+	}
+	clampDmod(&ni)
+	clampDmod(&nj)
+	return ni, nj
+}
+
+func clampDmod(m *dmod) {
+	if m.exitLink < 0 && m.exitLink > -1e-12 {
+		m.exitLink = 0
+	}
+	if m.sumP < 0 && m.sumP > -1e-12 {
+		m.sumP = 0
+	}
+	if m.tele < 0 && m.tele > -1e-12 {
+		m.tele = 0
+	}
+}
+
+func applyMove(a dagg, n0 int, i, j dmod, u nodeStat, outToI, inFromI, outToJ, inFromJ float64) (dagg, dmod, dmod) {
+	ni, nj := moveOutcome(n0, i, j, u, outToI, inFromI, outToJ, inFromJ)
+	qi, qj := i.exitPr(n0), j.exitPr(n0)
+	nqi, nqj := ni.exitPr(n0), nj.exitPr(n0)
+	a.qTotal += nqi + nqj - qi - qj
+	if a.qTotal < 0 {
+		a.qTotal = 0
+	}
+	a.sumQLogQ += plogp(nqi) + plogp(nqj) - plogp(qi) - plogp(qj)
+	a.sumQPLogQP += plogp(nqi+ni.sumP) + plogp(nqj+nj.sumP) -
+		plogp(qi+i.sumP) - plogp(qj+j.sumP)
+	return a, ni, nj
+}
+
+func deltaMove(a dagg, n0 int, i, j dmod, u nodeStat, outToI, inFromI, outToJ, inFromJ float64) float64 {
+	na, _, _ := applyMove(a, n0, i, j, u, outToI, inFromI, outToJ, inFromJ)
+	return na.l() - a.l()
+}
+
+// recomputeL evaluates L of the assignment on nw from scratch.
+func recomputeL(nw *network, comm []int, vertexTerm float64) float64 {
+	dense, k := graph.Renumber(comm)
+	mods := make([]dmod, k)
+	for u := 0; u < nw.size(); u++ {
+		c := dense[u]
+		mods[c].sumP += nw.p[u]
+		mods[c].tele += nw.tele[u]
+		mods[c].members += nw.members[u]
+		for _, l := range nw.out[u] {
+			if dense[l.to] != c {
+				mods[c].exitLink += l.flow
+			}
+		}
+	}
+	return aggregate(mods, nw.n0, vertexTerm).l()
+}
+
+// CodelengthOf evaluates the directed map equation of an arbitrary
+// partition on g (with teleportation tau; <= 0 means DefaultTau).
+func CodelengthOf(g *digraph.Graph, comm []int, tau float64) float64 {
+	flow := NewFlow(g, tau)
+	nw := newLevel0(g, flow)
+	return recomputeL(nw, comm, flow.SumPlogpP)
+}

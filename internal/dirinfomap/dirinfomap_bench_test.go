@@ -1,0 +1,23 @@
+package dirinfomap
+
+import (
+	"testing"
+
+	"dinfomap/internal/gen"
+)
+
+func BenchmarkFlow(b *testing.B) {
+	g, _ := gen.DirectedCitation(3, 5000, 10, 8, 0.15)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NewFlow(g, 0.15)
+	}
+}
+
+func BenchmarkRun(b *testing.B) {
+	g, _ := gen.DirectedCitation(3, 3000, 10, 6, 0.15)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Run(g, Config{Seed: uint64(i)})
+	}
+}

@@ -1,0 +1,303 @@
+package dirinfomap
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dinfomap/internal/digraph"
+	"dinfomap/internal/gen"
+	"dinfomap/internal/graph"
+	"dinfomap/internal/metrics"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol*(1+math.Abs(a)+math.Abs(b)) }
+
+// dicycle returns a directed k-cycle on consecutive vertex blocks,
+// joined by single arcs — clear directed community structure.
+func twoDiCliques() *digraph.Graph {
+	b := digraph.NewBuilder(8)
+	// Two 4-vertex directed "cliques" (full bidirectional within).
+	for base := 0; base < 8; base += 4 {
+		for i := 0; i < 4; i++ {
+			for j := 0; j < 4; j++ {
+				if i != j {
+					b.AddArc(base+i, base+j)
+				}
+			}
+		}
+	}
+	b.AddArc(0, 4) // weak bridge
+	b.AddArc(4, 0)
+	return b.Build()
+}
+
+func TestFlowSumsToOne(t *testing.T) {
+	g := twoDiCliques()
+	f := NewFlow(g, 0)
+	sum := 0.0
+	for _, p := range f.P {
+		sum += p
+	}
+	if !almost(sum, 1, 1e-10) {
+		t.Fatalf("flow sums to %v", sum)
+	}
+	if f.Iterations < 2 {
+		t.Fatalf("suspiciously few flow iterations: %d", f.Iterations)
+	}
+}
+
+func TestFlowUniformOnSymmetricGraph(t *testing.T) {
+	// Directed ring: perfectly symmetric, so p is uniform.
+	b := digraph.NewBuilder(10)
+	for u := 0; u < 10; u++ {
+		b.AddArc(u, (u+1)%10)
+	}
+	f := NewFlow(b.Build(), 0.15)
+	for u, p := range f.P {
+		if !almost(p, 0.1, 1e-9) {
+			t.Fatalf("P[%d] = %v, want 0.1", u, p)
+		}
+	}
+}
+
+func TestFlowDanglingHandled(t *testing.T) {
+	// 0 -> 1, 1 dangling: flow must still normalize and converge.
+	b := digraph.NewBuilder(2)
+	b.AddArc(0, 1)
+	f := NewFlow(b.Build(), 0.15)
+	sum := f.P[0] + f.P[1]
+	if !almost(sum, 1, 1e-10) {
+		t.Fatalf("sum = %v", sum)
+	}
+	if f.P[1] <= f.P[0] {
+		t.Fatalf("sink should accumulate more flow: %v vs %v", f.P[1], f.P[0])
+	}
+}
+
+func TestEmptyAndEdgeless(t *testing.T) {
+	if r := Run(digraph.NewBuilder(0).Build(), Config{}); r.NumModules != 0 {
+		t.Fatalf("empty: %+v", r)
+	}
+	if r := Run(digraph.NewBuilder(3).Build(), Config{}); r.NumModules != 3 {
+		t.Fatalf("edgeless: %+v", r)
+	}
+}
+
+func TestTwoDirectedCliques(t *testing.T) {
+	g := twoDiCliques()
+	r := Run(g, Config{Seed: 1})
+	if r.NumModules != 2 {
+		t.Fatalf("NumModules = %d, want 2", r.NumModules)
+	}
+	c := r.Communities
+	if c[0] != c[1] || c[1] != c[2] || c[2] != c[3] {
+		t.Errorf("first clique split: %v", c)
+	}
+	if c[4] != c[5] || c[5] != c[6] || c[6] != c[7] {
+		t.Errorf("second clique split: %v", c)
+	}
+	if c[0] == c[4] {
+		t.Errorf("cliques merged: %v", c)
+	}
+	if r.Codelength >= r.InitialCodelength {
+		t.Errorf("L = %v did not improve on %v", r.Codelength, r.InitialCodelength)
+	}
+}
+
+func TestReportedCodelengthExact(t *testing.T) {
+	g := randomDigraph(rand.New(rand.NewSource(3)), 40, 160)
+	r := Run(g, Config{Seed: 5})
+	l := CodelengthOf(g, r.Communities, 0)
+	if !almost(l, r.Codelength, 1e-9) {
+		t.Fatalf("reported %v, evaluated %v", r.Codelength, l)
+	}
+}
+
+func TestDirectedRecoversPlantedCommunities(t *testing.T) {
+	// Build a directed version of a planted undirected graph: each
+	// undirected edge becomes two arcs.
+	ug, truth := gen.PlantedPartition(7, gen.PlantedConfig{
+		N: 400, NumComms: 8, AvgDegree: 10, Mixing: 0.1,
+	})
+	b := digraph.NewBuilder(ug.NumVertices())
+	ug.Edges(func(u, v int, w float64) {
+		b.AddWeightedArc(u, v, w)
+		b.AddWeightedArc(v, u, w)
+	})
+	r := Run(b.Build(), Config{Seed: 3})
+	if nmi := metrics.NMI(r.Communities, truth); nmi < 0.85 {
+		t.Fatalf("NMI = %.3f, want >= 0.85 (modules=%d)", nmi, r.NumModules)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	g := randomDigraph(rand.New(rand.NewSource(9)), 60, 240)
+	a := Run(g, Config{Seed: 11})
+	b := Run(g, Config{Seed: 11})
+	if a.Codelength != b.Codelength || a.NumModules != b.NumModules {
+		t.Fatalf("nondeterministic: %v/%v", a.Codelength, b.Codelength)
+	}
+}
+
+func randomDigraph(rng *rand.Rand, n, arcs int) *digraph.Graph {
+	b := digraph.NewBuilder(n)
+	for i := 0; i < arcs; i++ {
+		b.AddArc(rng.Intn(n), rng.Intn(n))
+	}
+	return b.Build()
+}
+
+// buildMods constructs module stats from scratch for an assignment.
+func buildMods(nw *network, comm []int, k int) []dmod {
+	mods := make([]dmod, k)
+	for u := 0; u < nw.size(); u++ {
+		c := comm[u]
+		mods[c].sumP += nw.p[u]
+		mods[c].tele += nw.tele[u]
+		mods[c].members += nw.members[u]
+		for _, l := range nw.out[u] {
+			if comm[l.to] != c {
+				mods[c].exitLink += l.flow
+			}
+		}
+	}
+	return mods
+}
+
+// TestDeltaMatchesRecompute: the O(1) directed delta must equal the
+// difference of from-scratch evaluations, across random graphs,
+// assignments, and moves — the core correctness property.
+func TestDeltaMatchesRecompute(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 200; trial++ {
+		n := 6 + rng.Intn(15)
+		g := randomDigraph(rng, n, 3*n)
+		if g.TotalWeight() == 0 {
+			continue
+		}
+		f := NewFlow(g, 0.15)
+		nw := newLevel0(g, f)
+		k := 2 + rng.Intn(3)
+		comm := make([]int, n)
+		for i := range comm {
+			comm[i] = rng.Intn(k)
+		}
+		mods := buildMods(nw, comm, k)
+		agg := aggregate(mods, nw.n0, f.SumPlogpP)
+
+		u := rng.Intn(n)
+		target := rng.Intn(k)
+		if target == comm[u] {
+			continue
+		}
+		var outToF, inFromF, outToT, inFromT float64
+		for _, l := range nw.out[u] {
+			if comm[l.to] == comm[u] {
+				outToF += l.flow
+			}
+			if comm[l.to] == target {
+				outToT += l.flow
+			}
+		}
+		for _, l := range nw.in[u] {
+			if comm[l.to] == comm[u] {
+				inFromF += l.flow
+			}
+			if comm[l.to] == target {
+				inFromT += l.flow
+			}
+		}
+		uStat := nodeStat{p: nw.p[u], tele: nw.tele[u], members: nw.members[u], outTotal: nw.outTotal(u)}
+		delta := deltaMove(agg, nw.n0, mods[comm[u]], mods[target], uStat,
+			outToF, inFromF, outToT, inFromT)
+
+		comm2 := make([]int, n)
+		copy(comm2, comm)
+		comm2[u] = target
+		ref := aggregate(buildMods(nw, comm2, k), nw.n0, f.SumPlogpP).l() -
+			aggregate(buildMods(nw, comm, k), nw.n0, f.SumPlogpP).l()
+		if !almost(delta, ref, 1e-9) {
+			t.Fatalf("trial %d: delta %v, recompute %v", trial, delta, ref)
+		}
+	}
+}
+
+// TestContractionPreservesCodelength: L of the contracted network under
+// singleton assignment equals L of the original under the contraction
+// assignment.
+func TestContractionPreservesCodelength(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 8 + rng.Intn(12)
+		g := randomDigraph(rng, n, 4*n)
+		if g.TotalWeight() == 0 {
+			return true
+		}
+		fl := NewFlow(g, 0.15)
+		nw := newLevel0(g, fl)
+		comm := make([]int, n)
+		for i := range comm {
+			comm[i] = rng.Intn(4)
+		}
+		dense, k := graph.Renumber(comm)
+		before := recomputeL(nw, dense, fl.SumPlogpP)
+		contracted := nw.contract(dense, k)
+		singles := make([]int, contracted.size())
+		for i := range singles {
+			singles[i] = i
+		}
+		after := recomputeL(contracted, singles, fl.SumPlogpP)
+		return almost(before, after, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: total flow (p, tele, members, links) is conserved by
+// contraction.
+func TestPropertyContractConservesFlow(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 6 + rng.Intn(10)
+		g := randomDigraph(rng, n, 3*n)
+		if g.TotalWeight() == 0 {
+			return true
+		}
+		fl := NewFlow(g, 0.15)
+		nw := newLevel0(g, fl)
+		comm := make([]int, n)
+		for i := range comm {
+			comm[i] = rng.Intn(3)
+		}
+		dense, k := graph.Renumber(comm)
+		c := nw.contract(dense, k)
+		sum := func(xs []float64) float64 {
+			s := 0.0
+			for _, x := range xs {
+				s += x
+			}
+			return s
+		}
+		totalLinks := func(w *network) float64 {
+			s := sum(w.selfFlow)
+			for u := 0; u < w.size(); u++ {
+				s += w.outTotal(u)
+			}
+			return s
+		}
+		mem := 0
+		for _, m := range c.members {
+			mem += m
+		}
+		return almost(sum(c.p), sum(nw.p), 1e-12) &&
+			almost(sum(c.tele), sum(nw.tele), 1e-12) &&
+			mem == n &&
+			almost(totalLinks(c), totalLinks(nw), 1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

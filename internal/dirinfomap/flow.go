@@ -1,0 +1,104 @@
+// Package dirinfomap implements the directed Infomap extension the
+// paper claims for its method (Section 2.2): the map equation over the
+// stationary distribution of a teleporting random walk (PageRank-style),
+// minimized by the same greedy agglomerative scheme as the undirected
+// algorithm.
+//
+// Flow conventions (Rosvall & Bergstrom 2008):
+//
+//   - visit rates p_alpha solve p = tau/n + (1-tau)(W^T p + dangling/n)
+//   - the "teleport mass" of alpha, t_alpha = tau*p_alpha +
+//     (1-tau)*p_alpha*[alpha dangling], leaves alpha uniformly over all
+//     n original vertices;
+//   - the link flow along arc (alpha -> beta) is
+//     l_ab = (1-tau) * p_alpha * w_ab / outStrength(alpha);
+//   - a module's exit probability is
+//     q_m = t_m * (n - members_m)/n  +  sum of link flows leaving m,
+//     and the codelength is the same Eq. 3 form as the undirected case.
+package dirinfomap
+
+import (
+	"math"
+
+	"dinfomap/internal/digraph"
+)
+
+// DefaultTau is the standard teleportation probability.
+const DefaultTau = 0.15
+
+// Flow holds the stationary flow of a directed graph.
+type Flow struct {
+	// P[u] is the stationary visit rate of u.
+	P []float64
+	// Tau is the teleportation probability used.
+	Tau float64
+	// Iterations is how many power iterations were needed.
+	Iterations int
+	// SumPlogpP is the constant vertex term of the map equation.
+	SumPlogpP float64
+}
+
+// NewFlow computes the stationary visit rates of g by power iteration
+// with teleportation tau (<= 0 means DefaultTau). Converges to L1
+// error < 1e-13 or 1000 iterations.
+func NewFlow(g *digraph.Graph, tau float64) *Flow {
+	if tau <= 0 {
+		tau = DefaultTau
+	}
+	n := g.NumVertices()
+	f := &Flow{Tau: tau, P: make([]float64, n)}
+	if n == 0 || g.TotalWeight() == 0 {
+		return f
+	}
+	outStrength := make([]float64, n)
+	for u := 0; u < n; u++ {
+		outStrength[u] = g.OutStrength(u)
+	}
+	p := f.P
+	for u := range p {
+		p[u] = 1 / float64(n)
+	}
+	next := make([]float64, n)
+	for iter := 0; iter < 1000; iter++ {
+		dangling := 0.0
+		for u := 0; u < n; u++ {
+			if outStrength[u] == 0 {
+				dangling += p[u]
+			}
+		}
+		base := tau/float64(n) + (1-tau)*dangling/float64(n)
+		for u := range next {
+			next[u] = base
+		}
+		for u := 0; u < n; u++ {
+			if outStrength[u] == 0 {
+				continue
+			}
+			share := (1 - tau) * p[u] / outStrength[u]
+			g.OutNeighbors(u, func(v int, w float64) {
+				next[v] += share * w
+			})
+		}
+		var diff float64
+		for u := range p {
+			diff += math.Abs(next[u] - p[u])
+		}
+		p, next = next, p
+		f.Iterations = iter + 1
+		if diff < 1e-13 {
+			break
+		}
+	}
+	copy(f.P, p)
+	for _, pu := range f.P {
+		f.SumPlogpP += plogp(pu)
+	}
+	return f
+}
+
+func plogp(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return x * math.Log2(x)
+}

@@ -1,0 +1,132 @@
+package dirinfomap
+
+import (
+	"sort"
+
+	"dinfomap/internal/digraph"
+)
+
+// link is one directed flow link in a level network.
+type link struct {
+	to   int
+	flow float64
+}
+
+// network is one agglomeration level: nodes carrying stationary flow
+// quantities and normalized directed link flows. Self-flow is kept
+// separate — it never contributes to exits.
+type network struct {
+	n0 int // original vertex count (teleport denominator)
+
+	p        []float64 // visit rate per node
+	tele     []float64 // teleport mass per node (tau + dangling share)
+	members  []int     // original vertices contained in each node
+	selfFlow []float64 // flow alpha -> alpha
+	out      [][]link  // outgoing link flows, excluding self
+	in       [][]link  // incoming link flows, excluding self
+}
+
+func (nw *network) size() int { return len(nw.p) }
+
+// newLevel0 builds the level-0 network from a directed graph and its
+// stationary flow.
+func newLevel0(g *digraph.Graph, f *Flow) *network {
+	n := g.NumVertices()
+	nw := &network{
+		n0:       n,
+		p:        make([]float64, n),
+		tele:     make([]float64, n),
+		members:  make([]int, n),
+		selfFlow: make([]float64, n),
+		out:      make([][]link, n),
+		in:       make([][]link, n),
+	}
+	copy(nw.p, f.P)
+	for u := 0; u < n; u++ {
+		nw.members[u] = 1
+		s := g.OutStrength(u)
+		if s == 0 {
+			// Dangling: the whole (1-tau) share also teleports.
+			nw.tele[u] = f.P[u]
+			continue
+		}
+		nw.tele[u] = f.Tau * f.P[u]
+		share := (1 - f.Tau) * f.P[u] / s
+		g.OutNeighbors(u, func(v int, w float64) {
+			flow := share * w
+			if v == u {
+				nw.selfFlow[u] += flow
+				return
+			}
+			nw.out[u] = append(nw.out[u], link{to: v, flow: flow})
+			nw.in[v] = append(nw.in[v], link{to: u, flow: flow})
+		})
+	}
+	for u := 0; u < n; u++ {
+		sortLinks(nw.out[u])
+		sortLinks(nw.in[u])
+	}
+	return nw
+}
+
+// contract aggregates the network by the (dense) assignment comm,
+// producing the next level.
+func (nw *network) contract(comm []int, k int) *network {
+	next := &network{
+		n0:       nw.n0,
+		p:        make([]float64, k),
+		tele:     make([]float64, k),
+		members:  make([]int, k),
+		selfFlow: make([]float64, k),
+		out:      make([][]link, k),
+		in:       make([][]link, k),
+	}
+	type key struct{ a, b int }
+	acc := make(map[key]float64)
+	for u := 0; u < nw.size(); u++ {
+		cu := comm[u]
+		next.p[cu] += nw.p[u]
+		next.tele[cu] += nw.tele[u]
+		next.members[cu] += nw.members[u]
+		next.selfFlow[cu] += nw.selfFlow[u]
+		for _, l := range nw.out[u] {
+			cv := comm[l.to]
+			if cv == cu {
+				next.selfFlow[cu] += l.flow
+			} else {
+				acc[key{cu, cv}] += l.flow
+			}
+		}
+	}
+	// Deterministic link order.
+	keys := make([]key, 0, len(acc))
+	for kk := range acc {
+		keys = append(keys, kk)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].a != keys[j].a {
+			return keys[i].a < keys[j].a
+		}
+		return keys[i].b < keys[j].b
+	})
+	for _, kk := range keys {
+		fl := acc[kk]
+		next.out[kk.a] = append(next.out[kk.a], link{to: kk.b, flow: fl})
+		next.in[kk.b] = append(next.in[kk.b], link{to: kk.a, flow: fl})
+	}
+	return next
+}
+
+// outTotal returns the total outgoing link flow of node u (excluding
+// self-flow).
+func (nw *network) outTotal(u int) float64 {
+	s := 0.0
+	for _, l := range nw.out[u] {
+		s += l.flow
+	}
+	return s
+}
+
+func sortLinks(ls []link) {
+	sort.Slice(ls, func(i, j int) bool { return ls[i].to < ls[j].to })
+}

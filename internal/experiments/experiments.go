@@ -1,0 +1,85 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation (Section 4) on the synthetic stand-in datasets.
+// Each experiment has a Run function returning structured results and a
+// Format function rendering the same rows/series the paper reports.
+// The cmd/experiments binary drives them; the root bench_test.go wraps
+// each in a testing.B benchmark.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"dinfomap/internal/gen"
+	"dinfomap/internal/graph"
+)
+
+// Options configures an experiment run.
+type Options struct {
+	// Scale multiplies dataset sizes; 1.0 is the registry default
+	// (about 1/1000 of the paper). Benchmarks use smaller scales.
+	Scale float64
+	// Seed offsets all generator and algorithm seeds.
+	Seed uint64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Scale <= 0 {
+		o.Scale = 1
+	}
+	return o
+}
+
+// loadDataset generates the named stand-in at the requested scale.
+func loadDataset(name string, o Options) (*graph.Graph, []int, error) {
+	d, err := gen.Lookup(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	if o.Scale != 1 {
+		d.N = scaleInt(d.N, o.Scale)
+		d.RMATEdges = scaleInt(d.RMATEdges, o.Scale)
+		if d.RMATScale > 0 && o.Scale < 1 {
+			// Halve the vertex space roughly log2-proportionally.
+			for s := o.Scale; s < 0.6 && d.RMATScale > 8; s *= 2 {
+				d.RMATScale--
+			}
+		}
+		if d.NumComms > 0 {
+			d.NumComms = max(2, scaleInt(d.NumComms, o.Scale))
+		}
+	}
+	d.Seed += o.Seed
+	g, truth := d.Generate()
+	return g, truth, nil
+}
+
+func scaleInt(v int, s float64) int {
+	out := int(float64(v) * s)
+	if out < 16 {
+		out = 16
+	}
+	return out
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// writeHeader renders a section header for an experiment report.
+func writeHeader(w io.Writer, title string) {
+	fmt.Fprintf(w, "\n%s\n%s\n", title, strings.Repeat("=", len(title)))
+}
+
+// fmtSeries renders a float series compactly.
+func fmtSeries(xs []float64) string {
+	parts := make([]string, len(xs))
+	for i, x := range xs {
+		parts[i] = fmt.Sprintf("%.4f", x)
+	}
+	return strings.Join(parts, " ")
+}

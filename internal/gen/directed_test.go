@@ -1,0 +1,95 @@
+package gen
+
+import (
+	"testing"
+)
+
+func TestDirectedPlantedShape(t *testing.T) {
+	g, truth := DirectedPlanted(5, DirectedPlantedConfig{
+		N: 1000, NumComms: 10, AvgOutDeg: 8, Mixing: 0.2, Reciprocal: 0.3,
+	})
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 1000 {
+		t.Fatalf("n = %d", g.NumVertices())
+	}
+	if len(truth) != 1000 {
+		t.Fatalf("truth len %d", len(truth))
+	}
+	// Arc count near n*avgOutDeg (self-arc rejections and merges shave
+	// a little; reciprocity adds).
+	if g.NumArcs() < 6000 {
+		t.Fatalf("arcs = %d, too sparse", g.NumArcs())
+	}
+	// Mixing honored: most arcs intra-community.
+	intra, inter := 0, 0
+	for u := 0; u < g.NumVertices(); u++ {
+		g.OutNeighbors(u, func(v int, _ float64) {
+			if truth[u] == truth[v] {
+				intra++
+			} else {
+				inter++
+			}
+		})
+	}
+	if frac := float64(inter) / float64(intra+inter); frac > 0.3 {
+		t.Fatalf("inter-community arc fraction %.2f, want < 0.3", frac)
+	}
+}
+
+func TestDirectedPlantedAllCommunitiesNonEmpty(t *testing.T) {
+	_, truth := DirectedPlanted(7, DirectedPlantedConfig{
+		N: 100, NumComms: 10, AvgOutDeg: 5, Mixing: 0.1,
+	})
+	seen := make([]bool, 10)
+	for _, c := range truth {
+		seen[c] = true
+	}
+	for c, ok := range seen {
+		if !ok {
+			t.Fatalf("community %d empty", c)
+		}
+	}
+}
+
+func TestDirectedCitationIsAcyclicByConstruction(t *testing.T) {
+	g, truth := DirectedCitation(11, 500, 5, 4, 0.1)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(truth) != 500 {
+		t.Fatalf("truth len %d", len(truth))
+	}
+	// Papers cite only earlier papers: every arc goes to a smaller id.
+	for u := 0; u < g.NumVertices(); u++ {
+		g.OutNeighbors(u, func(v int, _ float64) {
+			if v >= u {
+				t.Fatalf("arc (%d,%d) violates citation time order", u, v)
+			}
+		})
+	}
+}
+
+func TestDirectedCitationPreferentialAttachment(t *testing.T) {
+	g, _ := DirectedCitation(13, 2000, 4, 6, 0.1)
+	// In-degree (citations received) should be skewed: early papers
+	// accumulate many citations.
+	maxIn := 0
+	for u := 0; u < g.NumVertices(); u++ {
+		if d := g.InDegree(u); d > maxIn {
+			maxIn = d
+		}
+	}
+	if maxIn < 30 {
+		t.Fatalf("max citations = %d, expected heavy hitters", maxIn)
+	}
+}
+
+func TestDirectedDeterministic(t *testing.T) {
+	a, _ := DirectedPlanted(17, DirectedPlantedConfig{N: 200, NumComms: 4, AvgOutDeg: 5, Mixing: 0.2})
+	b, _ := DirectedPlanted(17, DirectedPlantedConfig{N: 200, NumComms: 4, AvgOutDeg: 5, Mixing: 0.2})
+	if a.NumArcs() != b.NumArcs() || a.TotalWeight() != b.TotalWeight() {
+		t.Fatal("directed generation nondeterministic")
+	}
+}

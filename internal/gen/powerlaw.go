@@ -1,0 +1,204 @@
+package gen
+
+import (
+	"dinfomap/internal/graph"
+)
+
+// ChungLu generates an undirected graph whose expected degree sequence is
+// the given weights, using the efficient "Miller-Hagberg" style sampler:
+// vertices are processed in descending weight order and neighbor
+// candidates are skipped geometrically. Self-loops and parallel edges are
+// suppressed. Expected edge count is sum(w)^2 / (2*sum(w)) up to
+// truncation of probabilities at 1.
+//
+// Chung-Lu graphs with power-law weights reproduce the hub structure that
+// drives the paper's workload-imbalance experiments (Figures 6-7): a few
+// vertices of extreme degree plus a long tail of low-degree vertices.
+func ChungLu(r *RNG, weights []float64) *graph.Graph {
+	n := len(weights)
+	// Sort indices by descending weight; sampling assumes monotone weights.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	// Simple counting-free sort: insertion on mostly-sorted inputs would be
+	// slow in the worst case, so use the stdlib via a sortable view.
+	sortByWeightDesc(order, weights)
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	if total <= 0 {
+		return graph.NewBuilder(n).Build()
+	}
+	b := graph.NewBuilder(n)
+	for iu := 0; iu < n; iu++ {
+		u := order[iu]
+		wu := weights[u]
+		if wu <= 0 {
+			break
+		}
+		iv := iu + 1
+		// Probability of edge to the next candidate, truncated at 1.
+		for iv < n {
+			v := order[iv]
+			p := wu * weights[v] / total
+			if p >= 1 {
+				b.AddEdge(u, v)
+				iv++
+				continue
+			}
+			if p <= 0 {
+				break
+			}
+			// Skip ahead geometrically using the current p as an upper
+			// bound for subsequent candidates (weights are descending),
+			// then accept with ratio correction.
+			skip := r.Geometric(p)
+			iv += skip
+			if iv >= n {
+				break
+			}
+			v = order[iv]
+			q := wu * weights[v] / total
+			if r.Float64() < q/p {
+				b.AddEdge(u, v)
+			}
+			iv++
+		}
+	}
+	return b.Build()
+}
+
+// PowerLawGraph generates an n-vertex Chung-Lu graph with a power-law
+// expected degree sequence (exponent gamma, degrees in [dmin, dmax]).
+func PowerLawGraph(seed uint64, n int, gamma float64, dmin, dmax int) *graph.Graph {
+	r := NewRNG(seed)
+	degs := PowerLawDegrees(r, n, gamma, dmin, dmax)
+	ws := make([]float64, n)
+	for i, d := range degs {
+		ws[i] = float64(d)
+	}
+	return ChungLu(r, ws)
+}
+
+// BarabasiAlbert generates an n-vertex preferential-attachment graph where
+// every new vertex attaches m edges to existing vertices with probability
+// proportional to their degree. The result is scale-free with exponent
+// ~3 and a guaranteed connected core, a good stand-in for social networks
+// such as the paper's Friendster and LiveJournal datasets.
+func BarabasiAlbert(seed uint64, n, m int) *graph.Graph {
+	if m < 1 {
+		m = 1
+	}
+	if n < m+1 {
+		n = m + 1
+	}
+	r := NewRNG(seed)
+	// repeated[i] lists every edge endpoint; sampling uniformly from it is
+	// sampling proportional to degree.
+	repeated := make([]int, 0, 2*n*m)
+	b := graph.NewBuilder(n)
+	// Seed clique on m+1 vertices.
+	for u := 0; u <= m; u++ {
+		for v := u + 1; v <= m; v++ {
+			b.AddEdge(u, v)
+			repeated = append(repeated, u, v)
+		}
+	}
+	chosen := make([]int, 0, m)
+	for u := m + 1; u < n; u++ {
+		chosen = chosen[:0]
+		for len(chosen) < m {
+			v := repeated[r.Intn(len(repeated))]
+			if !contains(chosen, v) {
+				chosen = append(chosen, v)
+			}
+		}
+		for _, v := range chosen {
+			b.AddEdge(u, v)
+			repeated = append(repeated, u, v)
+		}
+	}
+	return b.Build()
+}
+
+// RMAT generates a graph with 2^scale vertices and approximately edges
+// edge records using the recursive matrix model with the canonical
+// parameters (a, b, c, d). Duplicate records and self-loops are dropped
+// by the builder's merging; the paper's web-crawl datasets (UK-2005,
+// UK-2007, WebBase-2001) have RMAT-like community-of-hubs structure.
+func RMAT(seed uint64, scale int, edges int, a, b, c float64) *graph.Graph {
+	r := NewRNG(seed)
+	n := 1 << scale
+	gb := graph.NewBuilder(n)
+	for i := 0; i < edges; i++ {
+		u, v := 0, 0
+		for bit := 0; bit < scale; bit++ {
+			x := r.Float64()
+			switch {
+			case x < a:
+				// top-left: nothing to add
+			case x < a+b:
+				v |= 1 << bit
+			case x < a+b+c:
+				u |= 1 << bit
+			default:
+				u |= 1 << bit
+				v |= 1 << bit
+			}
+		}
+		if u != v {
+			gb.AddEdge(u, v)
+		}
+	}
+	return gb.Build()
+}
+
+func contains(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func sortByWeightDesc(order []int, w []float64) {
+	// Heap sort to avoid pulling in sort.Slice closures in a hot path;
+	// n log n, in place, deterministic.
+	less := func(i, j int) bool { // max-heap on weight
+		return w[order[i]] < w[order[j]]
+	}
+	n := len(order)
+	for i := n/2 - 1; i >= 0; i-- {
+		siftDown(order, i, n, less)
+	}
+	for i := n - 1; i > 0; i-- {
+		order[0], order[i] = order[i], order[0]
+		siftDown(order, 0, i, less)
+	}
+	// Heap sort with a max-heap yields ascending order; reverse for
+	// descending weights.
+	for i, j := 0, n-1; i < j; i, j = i+1, j-1 {
+		order[i], order[j] = order[j], order[i]
+	}
+}
+
+func siftDown(order []int, lo, hi int, less func(i, j int) bool) {
+	root := lo
+	for {
+		child := 2*root + 1
+		if child >= hi {
+			return
+		}
+		if child+1 < hi && less(child, child+1) {
+			child++
+		}
+		if !less(root, child) {
+			return
+		}
+		order[root], order[child] = order[child], order[root]
+		root = child
+	}
+}

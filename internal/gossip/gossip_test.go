@@ -1,0 +1,87 @@
+package gossip
+
+import (
+	"math"
+	"testing"
+
+	"dinfomap/internal/gen"
+	"dinfomap/internal/graph"
+	"dinfomap/internal/infomap"
+	"dinfomap/internal/metrics"
+)
+
+func TestEmptyAndEdgeless(t *testing.T) {
+	if r := Run(graph.NewBuilder(0).Build(), Config{P: 2}); r.NumModules != 0 {
+		t.Fatalf("empty: %+v", r)
+	}
+	if r := Run(graph.NewBuilder(5).Build(), Config{P: 2}); r.NumModules != 5 {
+		t.Fatalf("edgeless: %+v", r)
+	}
+}
+
+func TestFindsObviousCommunities(t *testing.T) {
+	g := graph.FromEdges(6, [][2]int{
+		{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}, {5, 3}, {2, 3},
+	})
+	r := Run(g, Config{P: 2, Seed: 1})
+	c := r.Communities
+	if c[0] != c[1] || c[1] != c[2] {
+		t.Errorf("first triangle split: %v", c)
+	}
+	if c[3] != c[4] || c[4] != c[5] {
+		t.Errorf("second triangle split: %v", c)
+	}
+}
+
+func TestReasonableQualityOnPlanted(t *testing.T) {
+	g, truth := gen.PlantedPartition(3, gen.PlantedConfig{
+		N: 800, NumComms: 16, AvgDegree: 10, Mixing: 0.15,
+	})
+	r := Run(g, Config{P: 4, Seed: 3})
+	// Label propagation with local info only: decent but typically
+	// below Infomap quality (the paper's point about such methods).
+	if nmi := metrics.NMI(r.Communities, truth); nmi < 0.5 {
+		t.Fatalf("NMI = %.3f, want >= 0.5 (modules=%d)", nmi, r.NumModules)
+	}
+}
+
+func TestCodelengthWorseOrEqualToInfomap(t *testing.T) {
+	g, _ := gen.PlantedPartition(7, gen.PlantedConfig{
+		N: 600, NumComms: 12, AvgDegree: 8, Mixing: 0.2,
+	})
+	r := Run(g, Config{P: 4, Seed: 5})
+	seq := infomap.Run(g, infomap.Config{Seed: 5})
+	if r.Codelength < seq.Codelength-1e-9 {
+		t.Fatalf("gossip L %.4f beats sequential Infomap %.4f — suspicious",
+			r.Codelength, seq.Codelength)
+	}
+	// Reported codelength is the exact evaluation.
+	l := infomap.CodelengthOf(g, r.Communities)
+	if math.Abs(l-r.Codelength) > 1e-9 {
+		t.Fatalf("reported %v, actual %v", r.Codelength, l)
+	}
+}
+
+func TestModeledTimePopulated(t *testing.T) {
+	g, _ := gen.PlantedPartition(11, gen.PlantedConfig{
+		N: 400, NumComms: 8, AvgDegree: 8, Mixing: 0.2,
+	})
+	r := Run(g, Config{P: 4, Seed: 7})
+	if r.Modeled <= 0 {
+		t.Fatal("modeled time not populated")
+	}
+	if r.OuterIterations < 1 {
+		t.Fatal("no outer iterations recorded")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	g, _ := gen.PlantedPartition(13, gen.PlantedConfig{
+		N: 300, NumComms: 6, AvgDegree: 8, Mixing: 0.2,
+	})
+	a := Run(g, Config{P: 3, Seed: 9})
+	b := Run(g, Config{P: 3, Seed: 9})
+	if a.Codelength != b.Codelength || a.NumModules != b.NumModules {
+		t.Fatalf("nondeterministic: %v/%v", a.Codelength, b.Codelength)
+	}
+}

@@ -1,0 +1,264 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func triangle() *Graph {
+	return FromEdges(3, [][2]int{{0, 1}, {1, 2}, {2, 0}})
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := NewBuilder(0).Build()
+	if g.NumVertices() != 0 || g.NumEdges() != 0 || g.NumArcs() != 0 {
+		t.Fatalf("empty graph has n=%d m=%d arcs=%d", g.NumVertices(), g.NumEdges(), g.NumArcs())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("empty graph invalid: %v", err)
+	}
+}
+
+func TestIsolatedVertices(t *testing.T) {
+	g := NewBuilder(5).Build()
+	if g.NumVertices() != 5 {
+		t.Fatalf("NumVertices = %d, want 5", g.NumVertices())
+	}
+	for u := 0; u < 5; u++ {
+		if g.Degree(u) != 0 {
+			t.Errorf("Degree(%d) = %d, want 0", u, g.Degree(u))
+		}
+	}
+}
+
+func TestTriangleBasics(t *testing.T) {
+	g := triangle()
+	if g.NumVertices() != 3 {
+		t.Errorf("NumVertices = %d, want 3", g.NumVertices())
+	}
+	if g.NumEdges() != 3 {
+		t.Errorf("NumEdges = %d, want 3", g.NumEdges())
+	}
+	if g.NumArcs() != 6 {
+		t.Errorf("NumArcs = %d, want 6", g.NumArcs())
+	}
+	if g.TotalWeight() != 3 {
+		t.Errorf("TotalWeight = %v, want 3", g.TotalWeight())
+	}
+	for u := 0; u < 3; u++ {
+		if g.Degree(u) != 2 {
+			t.Errorf("Degree(%d) = %d, want 2", u, g.Degree(u))
+		}
+		if g.WeightedDegree(u) != 2 {
+			t.Errorf("WeightedDegree(%d) = %v, want 2", u, g.WeightedDegree(u))
+		}
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestHasEdgeAndWeight(t *testing.T) {
+	g := triangle()
+	cases := []struct {
+		u, v int
+		want bool
+	}{
+		{0, 1, true}, {1, 0, true}, {0, 2, true}, {1, 2, true},
+		{0, 0, false}, {1, 1, false},
+	}
+	for _, c := range cases {
+		if got := g.HasEdge(c.u, c.v); got != c.want {
+			t.Errorf("HasEdge(%d,%d) = %v, want %v", c.u, c.v, got, c.want)
+		}
+	}
+	if w := g.EdgeWeight(0, 1); w != 1 {
+		t.Errorf("EdgeWeight(0,1) = %v, want 1", w)
+	}
+	if w := g.EdgeWeight(0, 0); w != 0 {
+		t.Errorf("EdgeWeight(0,0) = %v, want 0", w)
+	}
+}
+
+func TestParallelEdgesMerged(t *testing.T) {
+	b := NewBuilder(2)
+	b.AddEdge(0, 1)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 0)
+	g := b.Build()
+	if g.NumEdges() != 1 {
+		t.Fatalf("NumEdges = %d, want 1 (parallel edges merged)", g.NumEdges())
+	}
+	if w := g.EdgeWeight(0, 1); w != 3 {
+		t.Fatalf("EdgeWeight(0,1) = %v, want 3 (summed)", w)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestSelfLoop(t *testing.T) {
+	b := NewBuilder(2)
+	b.AddEdge(0, 0)
+	b.AddEdge(0, 1)
+	g := b.Build()
+	if g.NumEdges() != 2 {
+		t.Fatalf("NumEdges = %d, want 2", g.NumEdges())
+	}
+	if g.Degree(0) != 2 { // self-loop counts once in Degree
+		t.Errorf("Degree(0) = %d, want 2", g.Degree(0))
+	}
+	if g.WeightedDegree(0) != 3 { // self-loop counts twice in strength
+		t.Errorf("WeightedDegree(0) = %v, want 3", g.WeightedDegree(0))
+	}
+	if !g.HasEdge(0, 0) {
+		t.Error("HasEdge(0,0) = false, want true")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestBuilderGrowsVertexCount(t *testing.T) {
+	b := NewBuilder(1)
+	b.AddEdge(0, 7)
+	g := b.Build()
+	if g.NumVertices() != 8 {
+		t.Fatalf("NumVertices = %d, want 8", g.NumVertices())
+	}
+}
+
+func TestBuilderPanicsOnBadInput(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"negative vertex": func() { NewBuilder(1).AddEdge(-1, 0) },
+		"zero weight":     func() { NewBuilder(2).AddWeightedEdge(0, 1, 0) },
+		"negative weight": func() { NewBuilder(2).AddWeightedEdge(0, 1, -2) },
+		"NaN weight":      func() { NewBuilder(2).AddWeightedEdge(0, 1, math.NaN()) },
+		"infinite weight": func() { NewBuilder(2).AddWeightedEdge(0, 1, math.Inf(1)) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		})
+	}
+}
+
+func TestNeighborsDeterministicSorted(t *testing.T) {
+	b := NewBuilder(5)
+	b.AddEdge(0, 3)
+	b.AddEdge(0, 1)
+	b.AddEdge(0, 4)
+	b.AddEdge(0, 2)
+	g := b.Build()
+	var got []int
+	g.Neighbors(0, func(v int, _ float64) { got = append(got, v) })
+	want := []int{1, 2, 3, 4}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Neighbors(0) order = %v, want %v", got, want)
+	}
+}
+
+func TestEdgesVisitsEachOnce(t *testing.T) {
+	g := triangle()
+	count := 0
+	g.Edges(func(u, v int, w float64) {
+		count++
+		if u > v {
+			t.Errorf("Edges yielded u=%d > v=%d", u, v)
+		}
+	})
+	if count != 3 {
+		t.Fatalf("Edges visited %d, want 3", count)
+	}
+}
+
+func TestWeightedGraphKeepsWeights(t *testing.T) {
+	b := NewBuilder(3)
+	b.AddWeightedEdge(0, 1, 2.5)
+	b.AddWeightedEdge(1, 2, 0.5)
+	g := b.Build()
+	if g.TotalWeight() != 3 {
+		t.Errorf("TotalWeight = %v, want 3", g.TotalWeight())
+	}
+	if w := g.EdgeWeight(2, 1); w != 0.5 {
+		t.Errorf("EdgeWeight(2,1) = %v, want 0.5", w)
+	}
+}
+
+func TestMaxDegree(t *testing.T) {
+	b := NewBuilder(5)
+	for v := 1; v < 5; v++ {
+		b.AddEdge(0, v) // star
+	}
+	g := b.Build()
+	if g.MaxDegree() != 4 {
+		t.Fatalf("MaxDegree = %d, want 4", g.MaxDegree())
+	}
+}
+
+// randomGraph builds a random graph with n vertices and m edge records
+// (self-loops and parallels allowed) from a seeded RNG.
+func randomGraph(rng *rand.Rand, n, m int) *Graph {
+	b := NewBuilder(n)
+	for i := 0; i < m; i++ {
+		b.AddEdge(rng.Intn(n), rng.Intn(n))
+	}
+	return b.Build()
+}
+
+// Property: every built graph passes Validate, and arc symmetry holds.
+func TestPropertyBuildAlwaysValid(t *testing.T) {
+	f := func(seed int64, nRaw, mRaw uint8) bool {
+		n := int(nRaw)%50 + 1
+		m := int(mRaw) % 200
+		g := randomGraph(rand.New(rand.NewSource(seed)), n, m)
+		return g.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: sum of weighted degrees equals twice the total weight
+// (the handshake lemma), including with self-loops.
+func TestPropertyHandshakeLemma(t *testing.T) {
+	f := func(seed int64, nRaw, mRaw uint8) bool {
+		n := int(nRaw)%50 + 1
+		m := int(mRaw) % 200
+		g := randomGraph(rand.New(rand.NewSource(seed)), n, m)
+		sum := 0.0
+		for u := 0; u < g.NumVertices(); u++ {
+			sum += g.WeightedDegree(u)
+		}
+		return math.Abs(sum-2*g.TotalWeight()) < 1e-9*(1+sum)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: HasEdge(u,v) == HasEdge(v,u) for all pairs.
+func TestPropertySymmetry(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraph(rng, 20, 60)
+		for u := 0; u < g.NumVertices(); u++ {
+			for v := 0; v < g.NumVertices(); v++ {
+				if g.HasEdge(u, v) != g.HasEdge(v, u) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

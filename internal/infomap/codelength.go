@@ -1,0 +1,15 @@
+package infomap
+
+import (
+	"dinfomap/internal/graph"
+	"dinfomap/internal/mapeq"
+)
+
+// CodelengthOf evaluates the two-level map equation of an arbitrary
+// partition on g, from scratch. Used to validate reported codelengths
+// and to compare partitions produced by different algorithms on equal
+// footing.
+func CodelengthOf(g *graph.Graph, comm []int) float64 {
+	flow := mapeq.NewVertexFlow(g)
+	return recomputeL(g, flow, comm, flow.SumPlogpP)
+}

@@ -1,0 +1,17 @@
+package louvain
+
+import (
+	"testing"
+
+	"dinfomap/internal/gen"
+)
+
+func BenchmarkRun(b *testing.B) {
+	g, _ := gen.PlantedPartition(3, gen.PlantedConfig{
+		N: 5000, NumComms: 100, AvgDegree: 10, Mixing: 0.2,
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Run(g, Config{Seed: uint64(i)})
+	}
+}

@@ -1,0 +1,94 @@
+package louvain
+
+import (
+	"math"
+	"testing"
+
+	"dinfomap/internal/gen"
+	"dinfomap/internal/graph"
+	"dinfomap/internal/metrics"
+)
+
+func TestEmptyAndEdgeless(t *testing.T) {
+	if r := Run(graph.NewBuilder(0).Build(), Config{}); r.NumCommunities != 0 {
+		t.Fatalf("empty: %+v", r)
+	}
+	if r := Run(graph.NewBuilder(3).Build(), Config{}); r.NumCommunities != 3 {
+		t.Fatalf("edgeless: %+v", r)
+	}
+}
+
+func TestTwoTriangles(t *testing.T) {
+	g := graph.FromEdges(6, [][2]int{
+		{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}, {5, 3}, {2, 3},
+	})
+	r := Run(g, Config{Seed: 1})
+	if r.NumCommunities != 2 {
+		t.Fatalf("NumCommunities = %d, want 2", r.NumCommunities)
+	}
+	c := r.Communities
+	if c[0] != c[1] || c[1] != c[2] || c[3] != c[4] || c[4] != c[5] || c[0] == c[3] {
+		t.Fatalf("wrong split: %v", c)
+	}
+	// Hand-computed optimum Q = 5/14 (see metrics tests).
+	if math.Abs(r.Modularity-5.0/14) > 1e-9 {
+		t.Fatalf("Q = %v, want %v", r.Modularity, 5.0/14)
+	}
+}
+
+func TestReportedModularityMatchesPartition(t *testing.T) {
+	g, _ := gen.PlantedPartition(7, gen.PlantedConfig{
+		N: 500, NumComms: 10, AvgDegree: 8, Mixing: 0.2,
+	})
+	r := Run(g, Config{Seed: 3})
+	q := metrics.Modularity(g, r.Communities)
+	if math.Abs(q-r.Modularity) > 1e-9 {
+		t.Fatalf("reported Q = %v, partition evaluates to %v", r.Modularity, q)
+	}
+}
+
+func TestRecoversPlantedCommunities(t *testing.T) {
+	g, truth := gen.PlantedPartition(11, gen.PlantedConfig{
+		N: 600, NumComms: 12, AvgDegree: 10, Mixing: 0.1,
+	})
+	r := Run(g, Config{Seed: 5})
+	if nmi := metrics.NMI(r.Communities, truth); nmi < 0.8 {
+		t.Fatalf("NMI = %.3f, want >= 0.8 (found %d communities)", nmi, r.NumCommunities)
+	}
+	if r.Modularity < 0.5 {
+		t.Fatalf("Q = %.3f, want >= 0.5", r.Modularity)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	g, _ := gen.PlantedPartition(13, gen.PlantedConfig{
+		N: 300, NumComms: 6, AvgDegree: 8, Mixing: 0.2,
+	})
+	a := Run(g, Config{Seed: 9})
+	b := Run(g, Config{Seed: 9})
+	if a.Modularity != b.Modularity || a.NumCommunities != b.NumCommunities {
+		t.Fatalf("nondeterministic: %v/%v", a.Modularity, b.Modularity)
+	}
+}
+
+func TestSelfLoopsHandled(t *testing.T) {
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 0)
+	b.AddEdge(0, 1)
+	b.AddEdge(2, 3)
+	r := Run(b.Build(), Config{Seed: 1})
+	q := metrics.Modularity(b.Build(), r.Communities)
+	if math.Abs(q-r.Modularity) > 1e-9 {
+		t.Fatalf("self-loop modularity inconsistent: %v vs %v", r.Modularity, q)
+	}
+}
+
+func TestMaxIterationsRespected(t *testing.T) {
+	g, _ := gen.PlantedPartition(17, gen.PlantedConfig{
+		N: 400, NumComms: 8, AvgDegree: 8, Mixing: 0.3,
+	})
+	r := Run(g, Config{Seed: 1, MaxIterations: 1})
+	if r.Levels != 1 {
+		t.Fatalf("Levels = %d, want 1", r.Levels)
+	}
+}

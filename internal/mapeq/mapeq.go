@@ -1,0 +1,194 @@
+// Package mapeq implements the map equation (Rosvall et al. 2009), the
+// objective function minimized by Infomap. It provides the flow
+// initialization for undirected graphs, the two-level codelength L(M) of
+// Equation 3 in the paper, and the exact delta-L of single-vertex moves
+// that both the sequential and the distributed algorithm evaluate in
+// their inner loops.
+//
+// All quantities are normalized: visit probabilities p_alpha sum to 1
+// over the vertices, and module exit probabilities q_m are cut weights
+// divided by twice the total edge weight. Codelengths are in bits
+// (logarithms base 2).
+package mapeq
+
+import (
+	"math"
+
+	"dinfomap/internal/graph"
+)
+
+// PlogP returns x*log2(x), with the measure-theoretic convention that
+// 0*log(0) = 0. Negative inputs (which can appear as tiny numerical
+// noise when subtracting flows) are clamped to zero.
+func PlogP(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return x * math.Log2(x)
+}
+
+// VertexFlow holds the per-vertex stationary flow of an undirected
+// graph: the visit probability of each vertex and the exit probability
+// it would have as a singleton module.
+type VertexFlow struct {
+	// P[u] is the visit probability of u: strength(u) / (2W), where a
+	// self-loop contributes twice to strength (paper Section 2.2).
+	P []float64
+	// Exit[u] is the exit probability of the singleton module {u}:
+	// (strength(u) - 2*selfLoop(u)) / (2W). Self-loops never exit.
+	Exit []float64
+	// SumPlogpP is the constant term sum_alpha plogp(p_alpha) of Eq. 3.
+	SumPlogpP float64
+	// TotalWeight is W, the sum of undirected edge weights.
+	TotalWeight float64
+}
+
+// NewVertexFlow computes the flow quantities of g. Graphs with zero
+// total weight yield all-zero flows.
+func NewVertexFlow(g *graph.Graph) *VertexFlow {
+	n := g.NumVertices()
+	f := &VertexFlow{
+		P:           make([]float64, n),
+		Exit:        make([]float64, n),
+		TotalWeight: g.TotalWeight(),
+	}
+	if f.TotalWeight <= 0 {
+		return f
+	}
+	inv2W := 1 / (2 * f.TotalWeight)
+	for u := 0; u < n; u++ {
+		strength := 0.0
+		selfW := 0.0
+		g.Neighbors(u, func(v int, w float64) {
+			if v == u {
+				selfW += w
+				strength += 2 * w
+			} else {
+				strength += w
+			}
+		})
+		f.P[u] = strength * inv2W
+		f.Exit[u] = (strength - 2*selfW) * inv2W
+		f.SumPlogpP += PlogP(f.P[u])
+	}
+	return f
+}
+
+// Norm returns the normalization factor 1/(2W), or 0 for empty graphs.
+func (f *VertexFlow) Norm() float64 {
+	if f.TotalWeight <= 0 {
+		return 0
+	}
+	return 1 / (2 * f.TotalWeight)
+}
+
+// Module is the statistics of one module needed by the map equation:
+// exactly the payload of the paper's Module_Info message (List 1) minus
+// bookkeeping flags.
+type Module struct {
+	SumPr   float64 // sum of visit probabilities of members
+	ExitPr  float64 // exit probability q_m (normalized cut weight)
+	Members int     // number of member vertices
+}
+
+// Empty reports whether the module has no members.
+func (m Module) Empty() bool { return m.Members == 0 }
+
+// Aggregates carries the three module sums of Eq. 3 so the codelength
+// and move deltas are O(1). Both algorithms maintain one of these
+// incrementally and re-derive it from scratch at iteration boundaries to
+// cancel floating-point drift.
+type Aggregates struct {
+	QTotal     float64 // sum_m q_m
+	SumQLogQ   float64 // sum_m plogp(q_m)
+	SumQPLogQP float64 // sum_m plogp(q_m + p_m)
+	SumPlogpP  float64 // sum_alpha plogp(p_alpha): constant per level
+}
+
+// L returns the two-level map equation codelength in bits (Eq. 3):
+//
+//	L = plogp(Q) - 2*sum plogp(q_m) - sum plogp(p_a) + sum plogp(q_m+p_m)
+func (a Aggregates) L() float64 {
+	return PlogP(a.QTotal) - 2*a.SumQLogQ - a.SumPlogpP + a.SumQPLogQP
+}
+
+// AggregateModules builds Aggregates from a module table. sumPlogpP is
+// the constant vertex term (VertexFlow.SumPlogpP for the current level).
+func AggregateModules(mods []Module, sumPlogpP float64) Aggregates {
+	a := Aggregates{SumPlogpP: sumPlogpP}
+	for _, m := range mods {
+		if m.Empty() {
+			continue
+		}
+		a.QTotal += m.ExitPr
+		a.SumQLogQ += PlogP(m.ExitPr)
+		a.SumQPLogQP += PlogP(m.ExitPr + m.SumPr)
+	}
+	return a
+}
+
+// Move describes a candidate relocation of one vertex u from module
+// From to module To, with the flow quantities the delta computation
+// needs. WToFrom/WToTo are the normalized link weights (w/(2W)) between
+// u and the *other* members of From, respectively the members of To.
+type Move struct {
+	PU      float64 // visit probability of u
+	ExitU   float64 // singleton exit probability of u
+	WToFrom float64 // normalized links u <-> (From \ {u})
+	WToTo   float64 // normalized links u <-> To
+}
+
+// after returns the updated (from, to, aggregates) after applying mv to
+// a vertex currently in from.
+func after(a Aggregates, from, to Module, mv Move) (Aggregates, Module, Module) {
+	// New exit probabilities (see DESIGN.md for the derivation):
+	// removing u turns its internal links into exiting ones and removes
+	// its external links from the cut; adding u does the reverse.
+	newFrom := Module{
+		SumPr:   from.SumPr - mv.PU,
+		ExitPr:  from.ExitPr - mv.ExitU + 2*mv.WToFrom,
+		Members: from.Members - 1,
+	}
+	newTo := Module{
+		SumPr:   to.SumPr + mv.PU,
+		ExitPr:  to.ExitPr + mv.ExitU - 2*mv.WToTo,
+		Members: to.Members + 1,
+	}
+	if newFrom.Members == 0 {
+		// Empty modules carry no flow; clamp numerical residue.
+		newFrom.SumPr = 0
+		newFrom.ExitPr = 0
+	}
+	clampModule(&newFrom)
+	clampModule(&newTo)
+	a.QTotal += newFrom.ExitPr + newTo.ExitPr - from.ExitPr - to.ExitPr
+	if a.QTotal < 0 {
+		a.QTotal = 0
+	}
+	a.SumQLogQ += PlogP(newFrom.ExitPr) + PlogP(newTo.ExitPr) -
+		PlogP(from.ExitPr) - PlogP(to.ExitPr)
+	a.SumQPLogQP += PlogP(newFrom.ExitPr+newFrom.SumPr) + PlogP(newTo.ExitPr+newTo.SumPr) -
+		PlogP(from.ExitPr+from.SumPr) - PlogP(to.ExitPr+to.SumPr)
+	return a, newFrom, newTo
+}
+
+func clampModule(m *Module) {
+	if m.ExitPr < 0 && m.ExitPr > -1e-12 {
+		m.ExitPr = 0
+	}
+	if m.SumPr < 0 && m.SumPr > -1e-12 {
+		m.SumPr = 0
+	}
+}
+
+// DeltaL returns the codelength change (bits) of applying mv to a vertex
+// currently in from, moving it to to. Negative is an improvement.
+func DeltaL(a Aggregates, from, to Module, mv Move) float64 {
+	na, _, _ := after(a, from, to, mv)
+	return na.L() - a.L()
+}
+
+// ApplyMove applies mv and returns the updated aggregates and modules.
+func ApplyMove(a Aggregates, from, to Module, mv Move) (Aggregates, Module, Module) {
+	return after(a, from, to, mv)
+}

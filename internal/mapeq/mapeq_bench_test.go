@@ -1,0 +1,54 @@
+package mapeq
+
+import (
+	"testing"
+
+	"dinfomap/internal/graph"
+)
+
+func benchSetup() (Aggregates, Module, Module, Move) {
+	g := graph.FromEdges(6, [][2]int{
+		{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}, {5, 3}, {2, 3},
+	})
+	f := NewVertexFlow(g)
+	mods := []Module{
+		{SumPr: 0.5, ExitPr: 1.0 / 14, Members: 3},
+		{SumPr: 0.5, ExitPr: 1.0 / 14, Members: 3},
+	}
+	agg := AggregateModules(mods, f.SumPlogpP)
+	mv := Move{PU: f.P[2], ExitU: f.Exit[2], WToFrom: 2.0 / 14, WToTo: 1.0 / 14}
+	return agg, mods[0], mods[1], mv
+}
+
+// BenchmarkDeltaL measures the inner-loop O(1) move evaluation — the
+// unit of the cost model's TimePerOp constant.
+func BenchmarkDeltaL(b *testing.B) {
+	agg, from, to, mv := benchSetup()
+	b.ReportAllocs()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += DeltaL(agg, from, to, mv)
+	}
+	_ = sink
+}
+
+func BenchmarkApplyMove(b *testing.B) {
+	agg, from, to, mv := benchSetup()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, _, _ = ApplyMove(agg, from, to, mv)
+	}
+}
+
+func BenchmarkNewVertexFlow(b *testing.B) {
+	bld := graph.NewBuilder(10000)
+	for u := 0; u < 10000; u++ {
+		bld.AddEdge(u, (u+1)%10000)
+		bld.AddEdge(u, (u+7)%10000)
+	}
+	g := bld.Build()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NewVertexFlow(g)
+	}
+}

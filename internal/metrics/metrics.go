@@ -1,0 +1,185 @@
+// Package metrics implements the community-quality measures the paper
+// reports: Normalized Mutual Information, pairwise F-measure, and the
+// Jaccard index (Table 2), plus Newman modularity as a general-purpose
+// reference measure. All comparisons are between two flat partitions of
+// the same vertex set, given as per-vertex community labels.
+package metrics
+
+import (
+	"fmt"
+	"math"
+
+	"dinfomap/internal/graph"
+)
+
+// contingency builds the contingency table between two labelings as a
+// sparse map, plus the marginal cluster sizes.
+func contingency(a, b []int) (joint map[[2]int]int, sizeA, sizeB map[int]int) {
+	joint = make(map[[2]int]int)
+	sizeA = make(map[int]int)
+	sizeB = make(map[int]int)
+	for i := range a {
+		joint[[2]int{a[i], b[i]}]++
+		sizeA[a[i]]++
+		sizeB[b[i]]++
+	}
+	return joint, sizeA, sizeB
+}
+
+func checkSameLength(a, b []int) {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("metrics: partitions over %d and %d vertices", len(a), len(b)))
+	}
+}
+
+// NMI returns the normalized mutual information between two partitions,
+// I(A;B) / sqrt(H(A) H(B)), in [0, 1]. Identical partitions (up to label
+// renaming) score 1. By convention, two partitions that both have zero
+// entropy (everything in one cluster) also score 1.
+func NMI(a, b []int) float64 {
+	checkSameLength(a, b)
+	n := float64(len(a))
+	if n == 0 {
+		return 1
+	}
+	joint, sa, sb := contingency(a, b)
+	var mi float64
+	for key, nij := range joint {
+		pij := float64(nij) / n
+		pa := float64(sa[key[0]]) / n
+		pb := float64(sb[key[1]]) / n
+		mi += pij * math.Log2(pij/(pa*pb))
+	}
+	ha := entropy(sa, n)
+	hb := entropy(sb, n)
+	if ha == 0 && hb == 0 {
+		return 1
+	}
+	if ha == 0 || hb == 0 {
+		return 0
+	}
+	v := mi / math.Sqrt(ha*hb)
+	// Clamp numerical noise.
+	if v > 1 {
+		v = 1
+	}
+	if v < 0 {
+		v = 0
+	}
+	return v
+}
+
+func entropy(sizes map[int]int, n float64) float64 {
+	var h float64
+	for _, s := range sizes {
+		p := float64(s) / n
+		if p > 0 {
+			h -= p * math.Log2(p)
+		}
+	}
+	return h
+}
+
+// pairCounts returns the pair-counting statistics between two
+// partitions: a11 pairs together in both, a10 together in A only, a01
+// together in B only. Uses the contingency table, O(n + cells).
+func pairCounts(a, b []int) (a11, a10, a01 float64) {
+	joint, sa, sb := contingency(a, b)
+	choose2 := func(x int) float64 { return float64(x) * float64(x-1) / 2 }
+	var sumJoint, sumA, sumB float64
+	for _, nij := range joint {
+		sumJoint += choose2(nij)
+	}
+	for _, s := range sa {
+		sumA += choose2(s)
+	}
+	for _, s := range sb {
+		sumB += choose2(s)
+	}
+	return sumJoint, sumA - sumJoint, sumB - sumJoint
+}
+
+// FMeasure returns the pairwise F1 score between two partitions: the
+// harmonic mean of pair precision and pair recall (treating "same
+// community in a" as ground truth and "same community in b" as the
+// prediction; the measure is symmetric).
+func FMeasure(a, b []int) float64 {
+	checkSameLength(a, b)
+	a11, a10, a01 := pairCounts(a, b)
+	if a11 == 0 {
+		if a10 == 0 && a01 == 0 {
+			return 1 // both partitions are all-singletons: identical
+		}
+		return 0
+	}
+	prec := a11 / (a11 + a01)
+	rec := a11 / (a11 + a10)
+	return 2 * prec * rec / (prec + rec)
+}
+
+// Jaccard returns the pairwise Jaccard index between two partitions:
+// |pairs together in both| / |pairs together in either|.
+func Jaccard(a, b []int) float64 {
+	checkSameLength(a, b)
+	a11, a10, a01 := pairCounts(a, b)
+	den := a11 + a10 + a01
+	if den == 0 {
+		return 1 // no co-clustered pairs anywhere: identical singletons
+	}
+	return a11 / den
+}
+
+// Modularity returns the Newman modularity Q of the partition comm on g:
+// Q = sum_c [ in_c/(2W) - (tot_c/(2W))^2 ], where in_c is twice the
+// intra-community weight and tot_c the total strength of community c.
+func Modularity(g *graph.Graph, comm []int) float64 {
+	if len(comm) != g.NumVertices() {
+		panic(fmt.Sprintf("metrics: assignment over %d vertices for graph with %d",
+			len(comm), g.NumVertices()))
+	}
+	w2 := 2 * g.TotalWeight()
+	if w2 == 0 {
+		return 0
+	}
+	in := make(map[int]float64)  // twice intra-community weight
+	tot := make(map[int]float64) // community strength
+	for u := 0; u < g.NumVertices(); u++ {
+		g.Neighbors(u, func(v int, w float64) {
+			if v == u {
+				w *= 2 // self-loop counts twice in strength
+				in[comm[u]] += w
+				tot[comm[u]] += w
+				return
+			}
+			tot[comm[u]] += w
+			if comm[v] == comm[u] {
+				in[comm[u]] += w
+			}
+		})
+	}
+	var q float64
+	for c, inW := range in {
+		q += inW / w2
+		_ = c
+	}
+	for _, totW := range tot {
+		q -= (totW / w2) * (totW / w2)
+	}
+	return q
+}
+
+// Quality bundles the three Table 2 measurements for one comparison.
+type Quality struct {
+	NMI      float64
+	FMeasure float64
+	Jaccard  float64
+}
+
+// Compare computes all Table 2 measures between two partitions.
+func Compare(a, b []int) Quality {
+	return Quality{NMI: NMI(a, b), FMeasure: FMeasure(a, b), Jaccard: Jaccard(a, b)}
+}
+
+func (q Quality) String() string {
+	return fmt.Sprintf("NMI=%.2f F=%.2f JI=%.2f", q.NMI, q.FMeasure, q.Jaccard)
+}

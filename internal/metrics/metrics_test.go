@@ -1,0 +1,238 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dinfomap/internal/graph"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestNMIIdenticalPartitions(t *testing.T) {
+	a := []int{0, 0, 1, 1, 2, 2}
+	if v := NMI(a, a); !almost(v, 1) {
+		t.Fatalf("NMI(a,a) = %v, want 1", v)
+	}
+}
+
+func TestNMIInvariantToRelabeling(t *testing.T) {
+	a := []int{0, 0, 1, 1, 2, 2}
+	b := []int{9, 9, 4, 4, 7, 7}
+	if v := NMI(a, b); !almost(v, 1) {
+		t.Fatalf("NMI under relabeling = %v, want 1", v)
+	}
+}
+
+func TestNMIIndependentPartitions(t *testing.T) {
+	// a splits {0..3} as {01}{23}; b as {02}{13}: independent.
+	a := []int{0, 0, 1, 1}
+	b := []int{0, 1, 0, 1}
+	if v := NMI(a, b); !almost(v, 0) {
+		t.Fatalf("NMI of independent partitions = %v, want 0", v)
+	}
+}
+
+func TestNMIDegenerate(t *testing.T) {
+	all := []int{5, 5, 5, 5}
+	if v := NMI(all, all); !almost(v, 1) {
+		t.Fatalf("NMI of two trivial partitions = %v, want 1", v)
+	}
+	split := []int{0, 0, 1, 1}
+	if v := NMI(all, split); !almost(v, 0) {
+		t.Fatalf("NMI trivial vs split = %v, want 0", v)
+	}
+	if v := NMI(nil, nil); !almost(v, 1) {
+		t.Fatalf("NMI of empty = %v, want 1", v)
+	}
+}
+
+func TestNMIPanicsOnLengthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NMI([]int{0}, []int{0, 1})
+}
+
+func TestFMeasureAndJaccardIdentical(t *testing.T) {
+	a := []int{0, 0, 1, 1, 1, 2}
+	if v := FMeasure(a, a); !almost(v, 1) {
+		t.Fatalf("F(a,a) = %v, want 1", v)
+	}
+	if v := Jaccard(a, a); !almost(v, 1) {
+		t.Fatalf("JI(a,a) = %v, want 1", v)
+	}
+}
+
+func TestFMeasureAllSingletons(t *testing.T) {
+	a := []int{0, 1, 2, 3}
+	if v := FMeasure(a, a); !almost(v, 1) {
+		t.Fatalf("F of identical singleton partitions = %v, want 1", v)
+	}
+	if v := Jaccard(a, a); !almost(v, 1) {
+		t.Fatalf("JI of identical singleton partitions = %v, want 1", v)
+	}
+}
+
+func TestFMeasureDisjointPairs(t *testing.T) {
+	// a pairs {01}{23}; b pairs {03}{12}: no shared pairs -> F = JI = 0.
+	a := []int{0, 0, 1, 1}
+	b := []int{0, 1, 1, 0}
+	if v := FMeasure(a, b); !almost(v, 0) {
+		t.Fatalf("F = %v, want 0", v)
+	}
+	if v := Jaccard(a, b); !almost(v, 0) {
+		t.Fatalf("JI = %v, want 0", v)
+	}
+}
+
+func TestJaccardHandComputed(t *testing.T) {
+	// a: {0,1,2} together; b: {0,1} together, {2} alone.
+	// Pairs in a: (01)(02)(12) = 3. Pairs in b: (01) = 1. Shared: 1.
+	// JI = 1 / (1 + 2 + 0) = 1/3.
+	a := []int{0, 0, 0}
+	b := []int{0, 0, 1}
+	if v := Jaccard(a, b); !almost(v, 1.0/3) {
+		t.Fatalf("JI = %v, want 1/3", v)
+	}
+	// Precision = 1/1, recall = 1/3 -> F = 2*(1*1/3)/(1+1/3) = 0.5.
+	if v := FMeasure(a, b); !almost(v, 0.5) {
+		t.Fatalf("F = %v, want 0.5", v)
+	}
+}
+
+func TestModularityTwoCliques(t *testing.T) {
+	// Two triangles joined by one edge; the planted split is strongly
+	// modular. Hand computation: W = 7, each community: in = 6 (2*3),
+	// tot = 2*3+1 = 7. Q = 2*(6/14 - (7/14)^2) = 2*(3/7 - 1/4) = 5/14.
+	g := graph.FromEdges(6, [][2]int{
+		{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}, {5, 3}, {2, 3},
+	})
+	comm := []int{0, 0, 0, 1, 1, 1}
+	if q := Modularity(g, comm); !almost(q, 5.0/14) {
+		t.Fatalf("Q = %v, want %v", q, 5.0/14)
+	}
+}
+
+func TestModularityAllOneCommunity(t *testing.T) {
+	g := graph.FromEdges(4, [][2]int{{0, 1}, {1, 2}, {2, 3}})
+	comm := []int{0, 0, 0, 0}
+	// Q = in/2W - (tot/2W)^2 = 1 - 1 = 0.
+	if q := Modularity(g, comm); !almost(q, 0) {
+		t.Fatalf("Q = %v, want 0", q)
+	}
+}
+
+func TestModularityEmptyGraph(t *testing.T) {
+	g := graph.NewBuilder(3).Build()
+	if q := Modularity(g, []int{0, 1, 2}); q != 0 {
+		t.Fatalf("Q = %v, want 0", q)
+	}
+}
+
+func TestModularityWithSelfLoop(t *testing.T) {
+	b := graph.NewBuilder(2)
+	b.AddEdge(0, 1)
+	b.AddEdge(0, 0)
+	g := b.Build()
+	// W=2. comm both separate: c0: in=2(self), tot=3+... strength(0)=3,
+	// strength(1)=1. Q = [2/4 - (3/4)^2] + [0 - (1/4)^2] = 0.5-0.5625-0.0625 = -0.125.
+	q := Modularity(g, []int{0, 1})
+	if !almost(q, -0.125) {
+		t.Fatalf("Q = %v, want -0.125", q)
+	}
+}
+
+func TestCompareBundle(t *testing.T) {
+	a := []int{0, 0, 1, 1}
+	q := Compare(a, a)
+	if !almost(q.NMI, 1) || !almost(q.FMeasure, 1) || !almost(q.Jaccard, 1) {
+		t.Fatalf("Compare(a,a) = %+v, want all 1", q)
+	}
+	if q.String() == "" {
+		t.Error("String() empty")
+	}
+}
+
+// Property: all measures are symmetric and within [0,1].
+func TestPropertyMeasuresSymmetricBounded(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(30)
+		a := make([]int, n)
+		b := make([]int, n)
+		for i := range a {
+			a[i] = rng.Intn(4)
+			b[i] = rng.Intn(4)
+		}
+		for _, pair := range [][2]float64{
+			{NMI(a, b), NMI(b, a)},
+			{FMeasure(a, b), FMeasure(b, a)},
+			{Jaccard(a, b), Jaccard(b, a)},
+		} {
+			if !almost(pair[0], pair[1]) {
+				return false
+			}
+			if pair[0] < 0 || pair[0] > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Jaccard <= FMeasure (JI = a11/(a11+a10+a01) vs F's harmonic
+// mean structure implies JI <= F always).
+func TestPropertyJaccardLeFMeasure(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(30)
+		a := make([]int, n)
+		b := make([]int, n)
+		for i := range a {
+			a[i] = rng.Intn(3)
+			b[i] = rng.Intn(5)
+		}
+		return Jaccard(a, b) <= FMeasure(a, b)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: modularity of a random partition never exceeds 1 and a
+// partition into connected dense blocks beats a random one on a planted
+// graph (sanity of sign conventions).
+func TestPropertyModularityBounded(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(20)
+		gb := graph.NewBuilder(n)
+		for i := 0; i < 3*n; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				gb.AddEdge(u, v)
+			}
+		}
+		g := gb.Build()
+		if g.NumEdges() == 0 {
+			return true
+		}
+		comm := make([]int, n)
+		for i := range comm {
+			comm[i] = rng.Intn(4)
+		}
+		q := Modularity(g, comm)
+		return q >= -1 && q <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

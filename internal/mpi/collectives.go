@@ -1,0 +1,224 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// ReduceOp names a reduction operator for Allreduce.
+type ReduceOp int
+
+// Supported reduction operators.
+const (
+	OpSum ReduceOp = iota
+	OpMin
+	OpMax
+)
+
+// The slot-exchange pattern used by every collective below:
+//
+//	publish local contribution at slots[rank]
+//	Barrier                      (everyone published)
+//	read all slots, combine
+//	Barrier                      (everyone done reading; slots reusable)
+//
+// The two barriers make each collective a full synchronization point,
+// mirroring MPI's blocking collectives.
+
+// AllgatherBytes gathers one byte slice from every rank; result[i] is
+// rank i's contribution. All ranks receive identical results.
+func (c *Comm) AllgatherBytes(data []byte) [][]byte {
+	return c.allgatherSmall(data)
+}
+
+// BcastBytes broadcasts root's data to every rank and returns it.
+// Non-root ranks pass their (ignored) local value, typically nil.
+func (c *Comm) BcastBytes(root int, data []byte) []byte {
+	if root < 0 || root >= c.size {
+		panic(fmt.Sprintf("mpi: Bcast with invalid root %d", root))
+	}
+	if c.rank == root {
+		c.w.slots[root] = data
+	}
+	c.collectiveCost(len(data))
+	c.sync()
+	src := c.w.slots[root]
+	cp := make([]byte, len(src))
+	copy(cp, src)
+	c.sync()
+	return cp
+}
+
+// AllreduceF64 reduces one float64 across all ranks with op. The
+// reduction runs in fixed rank order on every rank, so all ranks obtain
+// the bit-identical result — floating-point reproducibility that
+// distributed threshold decisions rely on.
+func (c *Comm) AllreduceF64(x float64, op ReduceOp) float64 {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], math.Float64bits(x))
+	parts := c.allgatherSmall(buf[:])
+	acc := math.Float64frombits(binary.LittleEndian.Uint64(parts[0]))
+	for _, p := range parts[1:] {
+		v := math.Float64frombits(binary.LittleEndian.Uint64(p))
+		acc = reduceF64(acc, v, op)
+	}
+	return acc
+}
+
+// AllreduceI64 reduces one int64 across all ranks with op.
+func (c *Comm) AllreduceI64(x int64, op ReduceOp) int64 {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(x))
+	parts := c.allgatherSmall(buf[:])
+	acc := x
+	for i, p := range parts {
+		if i == c.rank {
+			continue
+		}
+		v := int64(binary.LittleEndian.Uint64(p))
+		acc = reduceI64(acc, v, op)
+	}
+	return acc
+}
+
+// AllreduceSumF64s element-wise sums a float64 vector across ranks.
+// All ranks must pass vectors of the same length. Summation runs in
+// fixed rank order (0..p-1) on every rank, so the result is
+// bit-identical everywhere regardless of the calling rank.
+func (c *Comm) AllreduceSumF64s(xs []float64) []float64 {
+	buf := make([]byte, 8*len(xs))
+	for i, x := range xs {
+		binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(x))
+	}
+	parts := c.allgatherSmall(buf)
+	out := make([]float64, len(xs))
+	for r, p := range parts {
+		if len(p) != len(buf) {
+			panic(fmt.Sprintf("mpi: AllreduceSumF64s length mismatch: rank %d sent %d bytes, want %d", r, len(p), len(buf)))
+		}
+		for i := range out {
+			out[i] += math.Float64frombits(binary.LittleEndian.Uint64(p[8*i:]))
+		}
+	}
+	return out
+}
+
+// MinLoc is the result of AllreduceMinLoc: the global minimum value and
+// the rank that contributed it (lowest rank wins ties, like MPI_MINLOC).
+type MinLoc struct {
+	Value float64
+	Rank  int
+}
+
+// AllreduceMinLoc finds the global minimum of val and the rank holding
+// it. The paper uses exactly this to pick, for each delegate, the
+// candidate move with the global minimum delta-L (Algorithm 2, line 4).
+func (c *Comm) AllreduceMinLoc(val float64) MinLoc {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], math.Float64bits(val))
+	parts := c.allgatherSmall(buf[:])
+	best := MinLoc{Value: val, Rank: c.rank}
+	for r, p := range parts {
+		v := math.Float64frombits(binary.LittleEndian.Uint64(p))
+		if v < best.Value || (v == best.Value && r < best.Rank) {
+			best = MinLoc{Value: v, Rank: r}
+		}
+	}
+	return best
+}
+
+// Alltoallv sends bufs[dst] from this rank to each rank dst and returns
+// recv where recv[src] is the buffer this rank received from src.
+// bufs must have length Size(); nil entries mean "send nothing".
+func (c *Comm) Alltoallv(bufs [][]byte) [][]byte {
+	if len(bufs) != c.size {
+		panic(fmt.Sprintf("mpi: Alltoallv with %d buffers for %d ranks", len(bufs), c.size))
+	}
+	sent := 0
+	for dst, b := range bufs {
+		if dst != c.rank {
+			sent += len(b)
+			if len(b) > 0 {
+				c.stats.MsgsSent++
+			}
+		}
+	}
+	c.stats.BytesSent += int64(sent)
+	c.w.a2a[c.rank] = bufs
+	c.sync()
+	out := make([][]byte, c.size)
+	recvd := 0
+	for src := 0; src < c.size; src++ {
+		var b []byte
+		if c.w.a2a[src] != nil {
+			b = c.w.a2a[src][c.rank]
+		}
+		cp := make([]byte, len(b))
+		copy(cp, b)
+		out[src] = cp
+		if src != c.rank {
+			recvd += len(b)
+			if len(b) > 0 {
+				c.stats.MsgsRecv++
+			}
+		}
+	}
+	c.stats.BytesRecv += int64(recvd)
+	c.sync()
+	return out
+}
+
+// allgatherSmall is AllgatherBytes without double-charging collective
+// cost for the helpers built on top of it.
+func (c *Comm) allgatherSmall(data []byte) [][]byte {
+	c.collectiveCost(len(data))
+	c.w.slots[c.rank] = data
+	c.sync()
+	out := make([][]byte, c.size)
+	for i, s := range c.w.slots {
+		cp := make([]byte, len(s))
+		copy(cp, s)
+		out[i] = cp
+	}
+	c.sync()
+	return out
+}
+
+func reduceF64(a, b float64, op ReduceOp) float64 {
+	switch op {
+	case OpSum:
+		return a + b
+	case OpMin:
+		if b < a {
+			return b
+		}
+		return a
+	case OpMax:
+		if b > a {
+			return b
+		}
+		return a
+	default:
+		panic(fmt.Sprintf("mpi: unknown reduce op %d", op))
+	}
+}
+
+func reduceI64(a, b int64, op ReduceOp) int64 {
+	switch op {
+	case OpSum:
+		return a + b
+	case OpMin:
+		if b < a {
+			return b
+		}
+		return a
+	case OpMax:
+		if b > a {
+			return b
+		}
+		return a
+	default:
+		panic(fmt.Sprintf("mpi: unknown reduce op %d", op))
+	}
+}

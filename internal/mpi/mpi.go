@@ -1,0 +1,283 @@
+// Package mpi is an in-process message-passing runtime that plays the
+// role MPI plays in the paper's C++ implementation. Each rank runs as a
+// goroutine executing the same SPMD function; ranks communicate only
+// through tagged point-to-point messages and collectives (Barrier, Bcast,
+// Allreduce, Allgather, Alltoallv), never through shared memory.
+//
+// Every payload crosses the "network" as a []byte, so the per-rank byte
+// and message counters are exact: the communication-volume results in the
+// reproduction (Figures 7-8) measure real serialized traffic, not
+// estimates. Collective costs are additionally modeled with a
+// recursive-doubling term (log2 p messages per call) for the alpha-beta
+// cost model in package trace.
+//
+// The runtime is deliberately synchronous and deterministic-friendly:
+// sends are buffered (never block), receives match on (source, tag), and
+// a watchdog converts deadlocks into panics with diagnostics instead of
+// hangs.
+package mpi
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+)
+
+// DeadlockTimeout is how long a Recv or collective may block before the
+// runtime declares a deadlock and panics. Tests lower it.
+var DeadlockTimeout = 120 * time.Second
+
+// message is one point-to-point payload in flight.
+type message struct {
+	src, tag int
+	data     []byte
+}
+
+// inbox is an unbounded mailbox with (src, tag) matching.
+type inbox struct {
+	mu      sync.Mutex
+	queue   []message
+	arrived chan struct{} // 1-buffered doorbell
+}
+
+func newInbox() *inbox {
+	return &inbox{arrived: make(chan struct{}, 1)}
+}
+
+func (ib *inbox) put(m message) {
+	ib.mu.Lock()
+	ib.queue = append(ib.queue, m)
+	ib.mu.Unlock()
+	select {
+	case ib.arrived <- struct{}{}:
+	default:
+	}
+}
+
+// take removes and returns the first message matching (src, tag);
+// src == AnySource matches any sender. ok is false when nothing matches.
+func (ib *inbox) take(src, tag int) (message, bool) {
+	ib.mu.Lock()
+	defer ib.mu.Unlock()
+	for i, m := range ib.queue {
+		if (src == AnySource || m.src == src) && m.tag == tag {
+			ib.queue = append(ib.queue[:i], ib.queue[i+1:]...)
+			return m, true
+		}
+	}
+	return message{}, false
+}
+
+// AnySource matches messages from any rank in Recv.
+const AnySource = -1
+
+// World owns the shared state of one simulated cluster run.
+type World struct {
+	size    int
+	inboxes []*inbox
+	barrier *barrier
+	slots   [][]byte   // collective exchange slots, one per rank
+	a2a     [][][]byte // alltoallv slots
+	poison  chan struct{}
+	once    sync.Once
+	failure error
+	failMu  sync.Mutex
+}
+
+func (w *World) poisonWith(err error) {
+	w.failMu.Lock()
+	if w.failure == nil {
+		w.failure = err
+	}
+	w.failMu.Unlock()
+	w.once.Do(func() { close(w.poison) })
+}
+
+// Comm is one rank's endpoint into a World. Not safe for concurrent use
+// by multiple goroutines (like an MPI communicator handle).
+type Comm struct {
+	rank, size int
+	w          *World
+	stats      Stats
+}
+
+// Stats counts one rank's traffic. Collective* fields use the
+// recursive-doubling model: each collective costs ceil(log2 p) messages
+// of the payload size.
+type Stats struct {
+	BytesSent, BytesRecv int64
+	MsgsSent, MsgsRecv   int64
+	Collectives          int64
+	CollectiveBytes      int64 // modeled: payload * ceil(log2 p) per call
+	CollectiveMsgs       int64 // modeled: ceil(log2 p) per call
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.BytesSent += other.BytesSent
+	s.BytesRecv += other.BytesRecv
+	s.MsgsSent += other.MsgsSent
+	s.MsgsRecv += other.MsgsRecv
+	s.Collectives += other.Collectives
+	s.CollectiveBytes += other.CollectiveBytes
+	s.CollectiveMsgs += other.CollectiveMsgs
+}
+
+// TotalBytes returns all bytes attributed to this rank (p2p + modeled
+// collective traffic).
+func (s Stats) TotalBytes() int64 {
+	return s.BytesSent + s.BytesRecv + s.CollectiveBytes
+}
+
+// Rank returns this rank's id in [0, Size()).
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of ranks in the world.
+func (c *Comm) Size() int { return c.size }
+
+// Stats returns a snapshot of this rank's traffic counters.
+func (c *Comm) Stats() Stats { return c.stats }
+
+// ResetStats zeroes the traffic counters (used to attribute traffic to
+// phases).
+func (c *Comm) ResetStats() { c.stats = Stats{} }
+
+// Run executes fn as an SPMD program on size ranks and returns each
+// rank's final Stats. It panics (with the original message) if any rank
+// panics; other ranks blocked in communication are woken and unwound.
+func Run(size int, fn func(c *Comm)) []Stats {
+	if size < 1 {
+		panic("mpi: Run with size < 1")
+	}
+	w := &World{
+		size:    size,
+		inboxes: make([]*inbox, size),
+		barrier: newBarrier(size),
+		slots:   make([][]byte, size),
+		a2a:     make([][][]byte, size),
+		poison:  make(chan struct{}),
+	}
+	for i := range w.inboxes {
+		w.inboxes[i] = newInbox()
+	}
+	stats := make([]Stats, size)
+	var wg sync.WaitGroup
+	for r := 0; r < size; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			c := &Comm{rank: rank, size: size, w: w}
+			defer func() {
+				stats[rank] = c.stats
+				if p := recover(); p != nil {
+					w.poisonWith(fmt.Errorf("rank %d: %v", rank, p))
+				}
+			}()
+			fn(c)
+		}(r)
+	}
+	wg.Wait()
+	w.failMu.Lock()
+	err := w.failure
+	w.failMu.Unlock()
+	if err != nil {
+		panic(fmt.Sprintf("mpi: world failed: %v", err))
+	}
+	return stats
+}
+
+// Send delivers data to rank dst with the given tag. It never blocks
+// (buffered semantics). The payload is copied, so the caller may reuse
+// the slice.
+func (c *Comm) Send(dst, tag int, data []byte) {
+	if dst < 0 || dst >= c.size {
+		panic(fmt.Sprintf("mpi: Send to invalid rank %d (size %d)", dst, c.size))
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	c.stats.MsgsSent++
+	c.stats.BytesSent += int64(len(data))
+	c.w.inboxes[dst].put(message{src: c.rank, tag: tag, data: cp})
+}
+
+// Recv blocks until a message with matching (src, tag) arrives and
+// returns its payload and actual source. src may be AnySource.
+func (c *Comm) Recv(src, tag int) (data []byte, from int) {
+	ib := c.w.inboxes[c.rank]
+	deadline := time.NewTimer(DeadlockTimeout)
+	defer deadline.Stop()
+	for {
+		if m, ok := ib.take(src, tag); ok {
+			c.stats.MsgsRecv++
+			c.stats.BytesRecv += int64(len(m.data))
+			return m.data, m.src
+		}
+		select {
+		case <-ib.arrived:
+		case <-c.w.poison:
+			panic("mpi: world poisoned while waiting in Recv")
+		case <-deadline.C:
+			panic(fmt.Sprintf("mpi: rank %d deadlocked in Recv(src=%d, tag=%d)", c.rank, src, tag))
+		}
+	}
+}
+
+// collectiveCost charges the modeled recursive-doubling cost for one
+// collective moving payload bytes.
+func (c *Comm) collectiveCost(payload int) {
+	steps := int64(math.Ceil(math.Log2(float64(c.size))))
+	if c.size == 1 {
+		steps = 0
+	}
+	c.stats.Collectives++
+	c.stats.CollectiveMsgs += steps
+	c.stats.CollectiveBytes += steps * int64(payload)
+}
+
+// Barrier blocks until every rank has entered it.
+func (c *Comm) Barrier() {
+	c.collectiveCost(0)
+	c.sync()
+}
+
+// sync waits on the world barrier without charging collective cost; the
+// collectives use it internally so one logical collective is billed once.
+func (c *Comm) sync() {
+	c.w.barrier.wait(c.w.poison)
+}
+
+// barrier is a reusable generation barrier.
+type barrier struct {
+	mu    sync.Mutex
+	size  int
+	count int
+	gen   chan struct{}
+}
+
+func newBarrier(size int) *barrier {
+	return &barrier{size: size, gen: make(chan struct{})}
+}
+
+func (b *barrier) wait(poison <-chan struct{}) {
+	b.mu.Lock()
+	ch := b.gen
+	b.count++
+	if b.count == b.size {
+		b.count = 0
+		b.gen = make(chan struct{})
+		close(ch)
+		b.mu.Unlock()
+		return
+	}
+	b.mu.Unlock()
+	deadline := time.NewTimer(DeadlockTimeout)
+	defer deadline.Stop()
+	select {
+	case <-ch:
+	case <-poison:
+		panic("mpi: world poisoned while waiting in Barrier")
+	case <-deadline.C:
+		panic("mpi: deadlock in Barrier")
+	}
+}

@@ -1,0 +1,80 @@
+package mpi
+
+import (
+	"fmt"
+	"testing"
+)
+
+func BenchmarkSendRecvPingPong(b *testing.B) {
+	payload := make([]byte, 1024)
+	b.ReportAllocs()
+	Run(2, func(c *Comm) {
+		for i := 0; i < b.N; i++ {
+			if c.Rank() == 0 {
+				c.Send(1, 0, payload)
+				c.Recv(1, 1)
+			} else {
+				c.Recv(0, 0)
+				c.Send(0, 1, payload)
+			}
+		}
+	})
+}
+
+func BenchmarkBarrier(b *testing.B) {
+	for _, p := range []int{2, 8} {
+		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
+			Run(p, func(c *Comm) {
+				for i := 0; i < b.N; i++ {
+					c.Barrier()
+				}
+			})
+		})
+	}
+}
+
+func BenchmarkAllreduceF64(b *testing.B) {
+	for _, p := range []int{2, 8} {
+		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
+			Run(p, func(c *Comm) {
+				for i := 0; i < b.N; i++ {
+					c.AllreduceF64(float64(i), OpSum)
+				}
+			})
+		})
+	}
+}
+
+func BenchmarkAlltoallv(b *testing.B) {
+	for _, size := range []int{64, 4096} {
+		b.Run(fmt.Sprintf("bytes=%d", size), func(b *testing.B) {
+			const p = 4
+			Run(p, func(c *Comm) {
+				bufs := make([][]byte, p)
+				for i := range bufs {
+					bufs[i] = make([]byte, size)
+				}
+				for i := 0; i < b.N; i++ {
+					c.Alltoallv(bufs)
+				}
+			})
+		})
+	}
+}
+
+func BenchmarkEncoderDecoder(b *testing.B) {
+	b.ReportAllocs()
+	e := NewEncoder(4096)
+	for i := 0; i < b.N; i++ {
+		e.Reset()
+		for j := 0; j < 64; j++ {
+			e.PutInt(j)
+			e.PutF64(float64(j) * 1.5)
+		}
+		d := NewDecoder(e.Bytes())
+		for d.Remaining() > 0 {
+			_ = d.Int()
+			_ = d.F64()
+		}
+	}
+}

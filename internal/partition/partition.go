@@ -1,0 +1,361 @@
+// Package partition implements the two graph distribution strategies the
+// paper compares: plain 1D round-robin partitioning, and the delegate
+// partitioning of Pearce et al. (SC'14) that the paper adopts to balance
+// both workload and communication on scale-free graphs (Section 3.3).
+//
+// A Layout assigns every *arc* (directed evaluation edge) of the graph to
+// a rank. Each vertex u owned by rank r keeps its full adjacency as arcs
+// (u, v) on r, because the Infomap inner loop needs all neighbors of u to
+// evaluate delta-L. High-degree vertices ("hubs") are instead duplicated
+// on every rank as delegates, and their arcs are placed with the arc's
+// target (then optionally rebalanced), so no single rank carries a hub's
+// entire adjacency.
+package partition
+
+import (
+	"fmt"
+	"sort"
+
+	"dinfomap/internal/graph"
+)
+
+// Arc is one directed evaluation edge: the rank holding it evaluates
+// vertex U against neighbor V with edge weight W.
+type Arc struct {
+	U, V int
+	W    float64
+}
+
+// Layout is the result of partitioning a graph over P ranks.
+type Layout struct {
+	P     int
+	DHigh int // hub threshold used (0 for 1D layouts)
+
+	// Owner[u] is the home rank of vertex u (round-robin u mod P).
+	// Hubs also have a home rank, used for merge-phase ownership.
+	Owner []int
+	// IsHub[u] reports whether u is duplicated on all ranks.
+	IsHub []bool
+	// RankArcs[r] lists the arcs assigned to rank r.
+	RankArcs [][]Arc
+	// NumHubs is the number of delegated vertices.
+	NumHubs int
+}
+
+// RoundRobinOwner returns the 1D round-robin ownership map u -> u mod p.
+// Delegate partitioning uses it for the low-degree vertices
+// (Section 3.3, "a round-robin 1D partitioning").
+func RoundRobinOwner(n, p int) []int {
+	owner := make([]int, n)
+	for u := range owner {
+		owner[u] = u % p
+	}
+	return owner
+}
+
+// BlockOwner returns the contiguous-range 1D ownership map: vertex u
+// belongs to rank u*p/n. This is the conventional "1D partitioning" the
+// paper compares against (Figures 1, 6, 7): each rank takes a slab of
+// the vertex id space together with the full adjacency of those
+// vertices. On real graphs vertex ids correlate with degree (crawl
+// order, account age), so slabs containing hubs are drastically
+// overloaded.
+func BlockOwner(n, p int) []int {
+	owner := make([]int, n)
+	for u := range owner {
+		owner[u] = u * p / n
+	}
+	return owner
+}
+
+// OneD computes the baseline 1D block layout: every vertex's full
+// adjacency is stored with its owner. This is the strategy whose
+// imbalance on scale-free graphs motivates the paper (Figure 1).
+func OneD(g *graph.Graph, p int) *Layout {
+	if p < 1 {
+		panic(fmt.Sprintf("partition: OneD with p=%d", p))
+	}
+	n := g.NumVertices()
+	if n == 0 {
+		return &Layout{P: p, RankArcs: make([][]Arc, p)}
+	}
+	l := &Layout{
+		P:        p,
+		Owner:    BlockOwner(n, p),
+		IsHub:    make([]bool, n),
+		RankArcs: make([][]Arc, p),
+	}
+	for u := 0; u < n; u++ {
+		r := l.Owner[u]
+		g.Neighbors(u, func(v int, w float64) {
+			l.RankArcs[r] = append(l.RankArcs[r], Arc{U: u, V: v, W: w})
+		})
+	}
+	return l
+}
+
+// DelegateOptions configures Delegate partitioning.
+type DelegateOptions struct {
+	// DHigh is the hub degree threshold: vertices with Degree > DHigh
+	// are delegated. <= 0 means the paper's default, DHigh = p
+	// (Section 4: "We set the threshold d_high as the processor number").
+	DHigh int
+	// NoRebalance disables the fourth preprocessing step (moving
+	// hub-sourced arcs toward |E|/p per rank); used by the ablation.
+	NoRebalance bool
+}
+
+// Delegate computes the delegate layout of Section 3.3:
+//
+//  1. degrees are computed and visit probabilities derive from them
+//     (handled by package mapeq);
+//  2. vertices with degree > DHigh become hubs, duplicated on all ranks;
+//  3. arcs with a low-degree evaluation vertex stay with that vertex's
+//     owner; arcs evaluated at a hub are placed with the arc's *target*
+//     (so delegate and target co-locate); hub-hub arcs round-robin;
+//  4. hub-sourced arcs are reassigned from overloaded to underloaded
+//     ranks until every rank is close to the mean arc count.
+func Delegate(g *graph.Graph, p int, opts DelegateOptions) *Layout {
+	if p < 1 {
+		panic(fmt.Sprintf("partition: Delegate with p=%d", p))
+	}
+	dHigh := opts.DHigh
+	if dHigh <= 0 {
+		dHigh = p
+	}
+	n := g.NumVertices()
+	l := &Layout{
+		P:        p,
+		DHigh:    dHigh,
+		Owner:    RoundRobinOwner(n, p),
+		IsHub:    make([]bool, n),
+		RankArcs: make([][]Arc, p),
+	}
+	for u := 0; u < n; u++ {
+		if g.Degree(u) > dHigh {
+			l.IsHub[u] = true
+			l.NumHubs++
+		}
+	}
+	rr := 0 // round-robin cursor for hub-hub arcs
+	for u := 0; u < n; u++ {
+		uHub := l.IsHub[u]
+		g.Neighbors(u, func(v int, w float64) {
+			a := Arc{U: u, V: v, W: w}
+			var r int
+			switch {
+			case !uHub:
+				r = l.Owner[u] // low-degree: stay with owner
+			case !l.IsHub[v]:
+				r = l.Owner[v] // hub evaluated where its target lives
+			default:
+				r = rr % p // hub-hub: anywhere; start round-robin
+				rr++
+			}
+			l.RankArcs[r] = append(l.RankArcs[r], a)
+		})
+	}
+	if !opts.NoRebalance {
+		l.rebalance()
+	}
+	return l
+}
+
+// rebalance moves hub-sourced arcs from overloaded ranks to underloaded
+// ranks. Only arcs whose evaluation vertex is a hub are movable: the hub
+// is present everywhere, so its partial adjacency can live on any rank,
+// whereas a low-degree vertex's arcs must stay with its owner.
+func (l *Layout) rebalance() {
+	total := 0
+	for _, arcs := range l.RankArcs {
+		total += len(arcs)
+	}
+	mean := total / l.P
+	// Ranks sorted by load, heaviest first.
+	order := make([]int, l.P)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return len(l.RankArcs[order[a]]) > len(l.RankArcs[order[b]])
+	})
+	light := l.P - 1 // index into order from the light end
+	for _, heavy := range order {
+		for len(l.RankArcs[heavy]) > mean+1 && light >= 0 {
+			dst := order[light]
+			if dst == heavy || len(l.RankArcs[dst]) >= mean {
+				light--
+				continue
+			}
+			need := mean - len(l.RankArcs[dst])
+			spare := len(l.RankArcs[heavy]) - mean
+			moved := l.moveHubArcs(heavy, dst, minInt(need, spare))
+			if moved == 0 {
+				break // no movable arcs remain on this rank
+			}
+		}
+	}
+}
+
+// moveHubArcs moves up to k hub-sourced arcs from rank src to rank dst,
+// returning how many were moved.
+func (l *Layout) moveHubArcs(src, dst, k int) int {
+	if k <= 0 {
+		return 0
+	}
+	arcs := l.RankArcs[src]
+	moved := 0
+	for i := len(arcs) - 1; i >= 0 && moved < k; i-- {
+		if l.IsHub[arcs[i].U] {
+			l.RankArcs[dst] = append(l.RankArcs[dst], arcs[i])
+			arcs[i] = arcs[len(arcs)-1]
+			arcs = arcs[:len(arcs)-1]
+			moved++
+		}
+	}
+	l.RankArcs[src] = arcs
+	return moved
+}
+
+// EdgeCounts returns the number of arcs on each rank — the workload
+// measure of Figure 6 ("the total workload is proportional to the total
+// edge number on this processor").
+func (l *Layout) EdgeCounts() []int {
+	counts := make([]int, l.P)
+	for r, arcs := range l.RankArcs {
+		counts[r] = len(arcs)
+	}
+	return counts
+}
+
+// Ghosts returns the sorted ghost vertices of rank r: vertices referenced
+// by local arcs that are neither owned by r nor delegates. Communication
+// volume is proportional to the ghost count (Figure 7).
+func (l *Layout) Ghosts(r int) []int {
+	seen := make(map[int]bool)
+	for _, a := range l.RankArcs[r] {
+		for _, x := range [2]int{a.U, a.V} {
+			if !l.IsHub[x] && l.Owner[x] != r {
+				seen[x] = true
+			}
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// GhostCounts returns the ghost vertex count of each rank.
+func (l *Layout) GhostCounts() []int {
+	counts := make([]int, l.P)
+	for r := range counts {
+		counts[r] = len(l.Ghosts(r))
+	}
+	return counts
+}
+
+// BalanceStats summarizes a layout for the Figure 6/7 experiments.
+type BalanceStats struct {
+	MinEdges, MaxEdges   int
+	MinGhosts, MaxGhosts int
+	NumHubs              int
+	// EdgeImbalance is MaxEdges / mean edges (1.0 = perfectly balanced).
+	EdgeImbalance float64
+}
+
+// Stats computes the balance summary of l.
+func (l *Layout) Stats() BalanceStats {
+	edges := l.EdgeCounts()
+	ghosts := l.GhostCounts()
+	st := BalanceStats{
+		MinEdges:  minSlice(edges),
+		MaxEdges:  maxSlice(edges),
+		MinGhosts: minSlice(ghosts),
+		MaxGhosts: maxSlice(ghosts),
+		NumHubs:   l.NumHubs,
+	}
+	total := 0
+	for _, e := range edges {
+		total += e
+	}
+	if total > 0 {
+		st.EdgeImbalance = float64(st.MaxEdges) * float64(l.P) / float64(total)
+	}
+	return st
+}
+
+// Validate checks layout invariants: every arc of the graph is assigned
+// to exactly one rank, low-degree arcs live with their owner, and hub
+// flags match the threshold. Used by tests.
+func (l *Layout) Validate(g *graph.Graph) error {
+	n := g.NumVertices()
+	if len(l.Owner) != n || len(l.IsHub) != n {
+		return fmt.Errorf("partition: owner/hub arrays sized %d/%d for %d vertices",
+			len(l.Owner), len(l.IsHub), n)
+	}
+	// Count arcs per (u,v) pair across ranks.
+	type key struct{ u, v int }
+	assigned := make(map[key]int)
+	for r, arcs := range l.RankArcs {
+		for _, a := range arcs {
+			assigned[key{a.U, a.V}]++
+			if !l.IsHub[a.U] && l.Owner[a.U] != r {
+				return fmt.Errorf("partition: low-degree arc (%d,%d) on rank %d, owner is %d",
+					a.U, a.V, r, l.Owner[a.U])
+			}
+			if w := g.EdgeWeight(a.U, a.V); w != a.W {
+				return fmt.Errorf("partition: arc (%d,%d) weight %v, graph has %v", a.U, a.V, a.W, w)
+			}
+		}
+	}
+	for u := 0; u < n; u++ {
+		var wantHub bool
+		if l.DHigh > 0 {
+			wantHub = g.Degree(u) > l.DHigh
+		}
+		if l.IsHub[u] != wantHub {
+			return fmt.Errorf("partition: IsHub[%d] = %v, degree %d, threshold %d",
+				u, l.IsHub[u], g.Degree(u), l.DHigh)
+		}
+		count := 0
+		g.Neighbors(u, func(v int, _ float64) {
+			if assigned[key{u, v}] != 1 {
+				count++
+			}
+		})
+		if count != 0 {
+			return fmt.Errorf("partition: vertex %d has %d arcs not assigned exactly once", u, count)
+		}
+	}
+	return nil
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func minSlice(xs []int) int {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+func maxSlice(xs []int) int {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}

@@ -1,0 +1,41 @@
+package partition
+
+import (
+	"fmt"
+	"testing"
+
+	"dinfomap/internal/gen"
+	"dinfomap/internal/graph"
+)
+
+func benchGraph() *graph.Graph {
+	return gen.PowerLawGraph(42, 20000, 2.0, 2, 2000)
+}
+
+func BenchmarkOneD(b *testing.B) {
+	g := benchGraph()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		OneD(g, 16)
+	}
+}
+
+func BenchmarkDelegate(b *testing.B) {
+	g := benchGraph()
+	for _, rebalance := range []bool{true, false} {
+		b.Run(fmt.Sprintf("rebalance=%v", rebalance), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				Delegate(g, 16, DelegateOptions{NoRebalance: !rebalance})
+			}
+		})
+	}
+}
+
+func BenchmarkGhostCounts(b *testing.B) {
+	g := benchGraph()
+	l := Delegate(g, 16, DelegateOptions{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.GhostCounts()
+	}
+}

@@ -1,0 +1,276 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dinfomap/internal/gen"
+	"dinfomap/internal/graph"
+)
+
+// star returns a hub-and-spokes graph plus a few spoke-spoke edges.
+func star(spokes int) *graph.Graph {
+	b := graph.NewBuilder(spokes + 1)
+	for v := 1; v <= spokes; v++ {
+		b.AddEdge(0, v)
+	}
+	for v := 1; v+1 <= spokes; v += 2 {
+		b.AddEdge(v, v+1)
+	}
+	return b.Build()
+}
+
+func TestRoundRobinOwner(t *testing.T) {
+	owner := RoundRobinOwner(10, 3)
+	for u, r := range owner {
+		if r != u%3 {
+			t.Fatalf("owner[%d] = %d, want %d", u, r, u%3)
+		}
+	}
+}
+
+func TestOneDAssignsAllArcs(t *testing.T) {
+	g := star(20)
+	l := OneD(g, 4)
+	if err := l.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, arcs := range l.RankArcs {
+		total += len(arcs)
+	}
+	if total != g.NumArcs() {
+		t.Fatalf("assigned %d arcs, graph has %d", total, g.NumArcs())
+	}
+}
+
+func TestOneDHubImbalance(t *testing.T) {
+	// The hub (vertex 0, owned by rank 0) makes rank 0's load dominate:
+	// this is precisely the pathology of Figure 1.
+	g := star(100)
+	l := OneD(g, 4)
+	st := l.Stats()
+	if st.MaxEdges < 100 {
+		t.Fatalf("hub owner load = %d, want >= 100", st.MaxEdges)
+	}
+	if st.EdgeImbalance < 1.5 {
+		t.Fatalf("imbalance = %.2f, expected severe for a star under 1D", st.EdgeImbalance)
+	}
+}
+
+func TestDelegateBalancesStar(t *testing.T) {
+	g := star(100)
+	l := Delegate(g, 4, DelegateOptions{})
+	if err := l.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	if !l.IsHub[0] {
+		t.Fatal("vertex 0 (degree 100) not delegated with threshold p=4")
+	}
+	st := l.Stats()
+	if st.EdgeImbalance > 1.3 {
+		t.Fatalf("delegate imbalance = %.2f, want <= 1.3", st.EdgeImbalance)
+	}
+}
+
+func TestDelegateDefaultThresholdIsP(t *testing.T) {
+	g := star(10)
+	l := Delegate(g, 8, DelegateOptions{})
+	if l.DHigh != 8 {
+		t.Fatalf("DHigh = %d, want 8 (the paper's default)", l.DHigh)
+	}
+	// Vertex 0 has degree 10 > 8 -> hub; spokes have degree <= 2.
+	if l.NumHubs != 1 {
+		t.Fatalf("NumHubs = %d, want 1", l.NumHubs)
+	}
+}
+
+func TestDelegateExplicitThreshold(t *testing.T) {
+	g := star(10)
+	l := Delegate(g, 2, DelegateOptions{DHigh: 1000})
+	if l.NumHubs != 0 {
+		t.Fatalf("NumHubs = %d, want 0 with a huge threshold", l.NumHubs)
+	}
+	if err := l.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDelegateSingleRank(t *testing.T) {
+	g := star(20)
+	l := Delegate(g, 1, DelegateOptions{})
+	if err := l.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	if len(l.RankArcs[0]) != g.NumArcs() {
+		t.Fatalf("rank 0 has %d arcs, want all %d", len(l.RankArcs[0]), g.NumArcs())
+	}
+}
+
+func TestDelegateHubArcsColocateWithTarget(t *testing.T) {
+	g := star(40)
+	l := Delegate(g, 4, DelegateOptions{NoRebalance: true})
+	for r, arcs := range l.RankArcs {
+		for _, a := range arcs {
+			if l.IsHub[a.U] && !l.IsHub[a.V] && l.Owner[a.V] != r {
+				t.Fatalf("hub arc (%d,%d) on rank %d, target owner %d (no rebalance)",
+					a.U, a.V, r, l.Owner[a.V])
+			}
+		}
+	}
+}
+
+func TestGhostsExcludeHubsAndOwned(t *testing.T) {
+	g := star(40)
+	l := Delegate(g, 4, DelegateOptions{})
+	for r := 0; r < 4; r++ {
+		for _, v := range l.Ghosts(r) {
+			if l.IsHub[v] {
+				t.Fatalf("hub %d listed as ghost on rank %d", v, r)
+			}
+			if l.Owner[v] == r {
+				t.Fatalf("owned vertex %d listed as ghost on its own rank %d", v, r)
+			}
+		}
+	}
+}
+
+func TestRebalanceReducesSpread(t *testing.T) {
+	// Scale-free graph: rebalancing should not increase the max load.
+	g := gen.PowerLawGraph(3, 3000, 2.0, 2, 300)
+	with := Delegate(g, 8, DelegateOptions{})
+	without := Delegate(g, 8, DelegateOptions{NoRebalance: true})
+	if with.Stats().MaxEdges > without.Stats().MaxEdges {
+		t.Fatalf("rebalance increased max load: %d > %d",
+			with.Stats().MaxEdges, without.Stats().MaxEdges)
+	}
+	if err := with.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDelegateBeats1DOnScaleFree reproduces the headline claim of
+// Figures 6-7 in miniature: on a power-law graph the delegate layout has
+// a much tighter edge spread and ghost spread than 1D.
+func TestDelegateBeats1DOnScaleFree(t *testing.T) {
+	g := gen.PowerLawGraph(7, 5000, 1.9, 2, 500)
+	p := 16
+	oneD := OneD(g, p).Stats()
+	del := Delegate(g, p, DelegateOptions{}).Stats()
+
+	if del.EdgeImbalance >= oneD.EdgeImbalance {
+		t.Errorf("delegate imbalance %.2f not better than 1D %.2f",
+			del.EdgeImbalance, oneD.EdgeImbalance)
+	}
+	if del.MaxEdges >= oneD.MaxEdges {
+		t.Errorf("delegate max edges %d not better than 1D %d", del.MaxEdges, oneD.MaxEdges)
+	}
+	if del.MaxGhosts > oneD.MaxGhosts {
+		t.Errorf("delegate max ghosts %d worse than 1D %d", del.MaxGhosts, oneD.MaxGhosts)
+	}
+}
+
+func TestOneDPanicsOnBadP(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	OneD(star(3), 0)
+}
+
+func TestStatsOnEmptyRanks(t *testing.T) {
+	// More ranks than vertices: some ranks get nothing; stats must not
+	// divide by zero or panic.
+	g := graph.FromEdges(3, [][2]int{{0, 1}, {1, 2}})
+	l := OneD(g, 8)
+	st := l.Stats()
+	if st.MinEdges != 0 {
+		t.Fatalf("MinEdges = %d, want 0", st.MinEdges)
+	}
+	if err := l.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: both layouts assign every arc exactly once on random graphs.
+func TestPropertyLayoutsComplete(t *testing.T) {
+	f := func(seed int64, pRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := int(pRaw)%7 + 1
+		n := 20 + rng.Intn(50)
+		b := graph.NewBuilder(n)
+		for i := 0; i < 4*n; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				b.AddEdge(u, v)
+			}
+		}
+		g := b.Build()
+		l1 := OneD(g, p)
+		l2 := Delegate(g, p, DelegateOptions{})
+		l3 := Delegate(g, p, DelegateOptions{NoRebalance: true})
+		return l1.Validate(g) == nil && l2.Validate(g) == nil && l3.Validate(g) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: total arc count is preserved by rebalancing.
+func TestPropertyRebalancePreservesArcs(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 30 + rng.Intn(40)
+		b := graph.NewBuilder(n)
+		for i := 0; i < 6*n; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				b.AddEdge(u, v)
+			}
+		}
+		g := b.Build()
+		l := Delegate(g, 4, DelegateOptions{})
+		total := 0
+		for _, arcs := range l.RankArcs {
+			total += len(arcs)
+		}
+		return total == g.NumArcs()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBlockOwner(t *testing.T) {
+	owner := BlockOwner(10, 3)
+	// Contiguous non-decreasing slabs covering [0,3).
+	prev := 0
+	for u, r := range owner {
+		if r < prev || r > 2 {
+			t.Fatalf("owner[%d] = %d not a contiguous slab", u, r)
+		}
+		prev = r
+	}
+	if owner[0] != 0 || owner[9] != 2 {
+		t.Fatalf("endpoints: %v", owner)
+	}
+}
+
+func TestOneDBlockImbalanceOnDegreeSortedHub(t *testing.T) {
+	// Degree-sorted star: vertex 0 is the hub, so the first block gets
+	// nearly every arc — the Figure 1 pathology in its purest form.
+	b := graph.NewBuilder(40)
+	for v := 1; v < 40; v++ {
+		b.AddEdge(0, v)
+	}
+	g := b.Build()
+	st := OneD(g, 4).Stats()
+	if st.MaxEdges < 39 {
+		t.Fatalf("hub block has %d arcs, want >= 39", st.MaxEdges)
+	}
+	if st.MinEdges > 10 {
+		t.Fatalf("tail block has %d arcs, expected starvation", st.MinEdges)
+	}
+}

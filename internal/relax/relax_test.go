@@ -1,0 +1,70 @@
+package relax
+
+import (
+	"math"
+	"testing"
+
+	"dinfomap/internal/gen"
+	"dinfomap/internal/graph"
+	"dinfomap/internal/infomap"
+	"dinfomap/internal/metrics"
+)
+
+func TestEmptyAndEdgeless(t *testing.T) {
+	if r := Run(graph.NewBuilder(0).Build(), Config{}); r.NumModules != 0 {
+		t.Fatalf("empty: %+v", r)
+	}
+	if r := Run(graph.NewBuilder(5).Build(), Config{}); r.NumModules != 5 {
+		t.Fatalf("edgeless: %+v", r)
+	}
+}
+
+func TestTwoTriangles(t *testing.T) {
+	g := graph.FromEdges(6, [][2]int{
+		{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}, {5, 3}, {2, 3},
+	})
+	r := Run(g, Config{Workers: 2, Seed: 1})
+	c := r.Communities
+	if r.NumModules != 2 || c[0] != c[1] || c[1] != c[2] ||
+		c[3] != c[4] || c[4] != c[5] || c[0] == c[3] {
+		t.Fatalf("modules=%d comms=%v", r.NumModules, c)
+	}
+}
+
+func TestQualityNearSequential(t *testing.T) {
+	g, truth := gen.PlantedPartition(3, gen.PlantedConfig{
+		N: 800, NumComms: 16, AvgDegree: 10, Mixing: 0.15,
+	})
+	r := Run(g, Config{Workers: 4, Seed: 3})
+	if nmi := metrics.NMI(r.Communities, truth); nmi < 0.8 {
+		t.Fatalf("NMI = %.3f, want >= 0.8 (modules=%d)", nmi, r.NumModules)
+	}
+	seq := infomap.Run(g, infomap.Config{Seed: 3})
+	if rel := (r.Codelength - seq.Codelength) / seq.Codelength; rel > 0.1 {
+		t.Fatalf("relax L %.4f is %.1f%% worse than sequential %.4f",
+			r.Codelength, 100*rel, seq.Codelength)
+	}
+}
+
+func TestReportedCodelengthExact(t *testing.T) {
+	g, _ := gen.PlantedPartition(7, gen.PlantedConfig{
+		N: 400, NumComms: 8, AvgDegree: 8, Mixing: 0.2,
+	})
+	r := Run(g, Config{Workers: 3, Seed: 5})
+	l := infomap.CodelengthOf(g, r.Communities)
+	if math.Abs(l-r.Codelength) > 1e-6 {
+		t.Fatalf("reported %v, actual %v", r.Codelength, l)
+	}
+}
+
+func TestWorkerCountInsensitiveQuality(t *testing.T) {
+	g, truth := gen.PlantedPartition(11, gen.PlantedConfig{
+		N: 600, NumComms: 12, AvgDegree: 8, Mixing: 0.2,
+	})
+	for _, w := range []int{1, 2, 8} {
+		r := Run(g, Config{Workers: w, Seed: 7})
+		if nmi := metrics.NMI(r.Communities, truth); nmi < 0.7 {
+			t.Errorf("workers=%d: NMI = %.3f, want >= 0.7", w, nmi)
+		}
+	}
+}

@@ -1,0 +1,163 @@
+// Package report summarizes and exports community detection results:
+// per-community statistics, a text report, and GraphViz DOT output of
+// the community-level quotient graph. The paper lists visualization of
+// community results as future work (Section 6); this is the part that
+// doesn't need a display.
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"dinfomap/internal/graph"
+)
+
+// CommunityStat describes one detected community.
+type CommunityStat struct {
+	ID          int
+	Size        int     // member vertices
+	InternalW   float64 // total weight of internal edges
+	CutW        float64 // total weight of edges leaving the community
+	Conductance float64 // cut / (2*internal + cut)
+	MaxDegree   int     // largest (full-graph) degree among members
+}
+
+// Summary describes a whole partition.
+type Summary struct {
+	NumCommunities int
+	Communities    []CommunityStat // sorted by size, descending
+	Modularity     float64         // filled by the caller if desired
+	SizeP50        int
+	SizeMax        int
+	Singletons     int
+	CutFraction    float64 // weight share of inter-community edges
+}
+
+// Summarize computes per-community statistics of comm on g.
+func Summarize(g *graph.Graph, comm []int) *Summary {
+	if len(comm) != g.NumVertices() {
+		panic(fmt.Sprintf("report: %d assignments for %d vertices", len(comm), g.NumVertices()))
+	}
+	dense, k := graph.Renumber(comm)
+	stats := make([]CommunityStat, k)
+	for c := range stats {
+		stats[c].ID = c
+	}
+	for u := 0; u < g.NumVertices(); u++ {
+		c := dense[u]
+		stats[c].Size++
+		if d := g.Degree(u); d > stats[c].MaxDegree {
+			stats[c].MaxDegree = d
+		}
+	}
+	var cutTotal, wTotal float64
+	g.Edges(func(u, v int, w float64) {
+		wTotal += w
+		cu, cv := dense[u], dense[v]
+		if cu == cv {
+			stats[cu].InternalW += w
+		} else {
+			stats[cu].CutW += w
+			stats[cv].CutW += w
+			cutTotal += w
+		}
+	})
+	for c := range stats {
+		den := 2*stats[c].InternalW + stats[c].CutW
+		if den > 0 {
+			stats[c].Conductance = stats[c].CutW / den
+		}
+	}
+	sort.Slice(stats, func(i, j int) bool {
+		if stats[i].Size != stats[j].Size {
+			return stats[i].Size > stats[j].Size
+		}
+		return stats[i].ID < stats[j].ID
+	})
+	s := &Summary{NumCommunities: k, Communities: stats}
+	sizes := make([]int, k)
+	for i, st := range stats {
+		sizes[i] = st.Size
+		if st.Size == 1 {
+			s.Singletons++
+		}
+	}
+	if k > 0 {
+		s.SizeMax = sizes[0]
+		s.SizeP50 = sizes[k/2]
+	}
+	if wTotal > 0 {
+		s.CutFraction = cutTotal / wTotal
+	}
+	return s
+}
+
+// WriteText renders a human-readable report, showing the topN largest
+// communities (0 = all).
+func (s *Summary) WriteText(w io.Writer, topN int) error {
+	fmt.Fprintf(w, "communities: %d (median size %d, max %d, %d singletons)\n",
+		s.NumCommunities, s.SizeP50, s.SizeMax, s.Singletons)
+	fmt.Fprintf(w, "inter-community edge weight: %.1f%%\n", 100*s.CutFraction)
+	n := len(s.Communities)
+	if topN > 0 && topN < n {
+		n = topN
+	}
+	fmt.Fprintf(w, "%6s %8s %10s %10s %12s %8s\n",
+		"id", "size", "internalW", "cutW", "conductance", "maxDeg")
+	for _, c := range s.Communities[:n] {
+		if _, err := fmt.Fprintf(w, "%6d %8d %10.1f %10.1f %12.3f %8d\n",
+			c.ID, c.Size, c.InternalW, c.CutW, c.Conductance, c.MaxDegree); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteDOT writes the community quotient graph in GraphViz DOT format:
+// one node per community (sized label) and one edge per community pair
+// with the aggregated weight. maxNodes caps output size (0 = 100).
+func WriteDOT(w io.Writer, g *graph.Graph, comm []int, maxNodes int) error {
+	if maxNodes <= 0 {
+		maxNodes = 100
+	}
+	dense, _ := graph.Renumber(comm)
+	quotient, _ := graph.Contract(g, dense)
+	// Keep only the largest maxNodes communities.
+	sizes := graph.CommunitySizes(dense, quotient.NumVertices())
+	order := make([]int, quotient.NumVertices())
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return sizes[order[a]] > sizes[order[b]] })
+	keep := make(map[int]bool, maxNodes)
+	for i := 0; i < len(order) && i < maxNodes; i++ {
+		keep[order[i]] = true
+	}
+
+	var sb strings.Builder
+	sb.WriteString("graph communities {\n")
+	sb.WriteString("  layout=sfdp; overlap=false; node [shape=circle style=filled fillcolor=\"#cfe3ff\"];\n")
+	for c := range keep {
+		fmt.Fprintf(&sb, "  c%d [label=\"%d\\n(%d)\" width=%.2f];\n",
+			c, c, sizes[c], 0.4+float64(sizes[c])/float64(maxInt(1, sizes[order[0]])))
+	}
+	quotient.Edges(func(a, b int, wt float64) {
+		if a == b || !keep[a] || !keep[b] {
+			return
+		}
+		fmt.Fprintf(&sb, "  c%d -- c%d [penwidth=%.2f label=\"%.0f\"];\n",
+			a, b, 0.5+wt/4, wt)
+	})
+	sb.WriteString("}\n")
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

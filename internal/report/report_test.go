@@ -1,0 +1,124 @@
+package report
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"dinfomap/internal/gen"
+	"dinfomap/internal/graph"
+)
+
+func twoTriangles() (*graph.Graph, []int) {
+	g := graph.FromEdges(6, [][2]int{
+		{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}, {5, 3}, {2, 3},
+	})
+	return g, []int{0, 0, 0, 1, 1, 1}
+}
+
+func TestSummarizeTwoTriangles(t *testing.T) {
+	g, comm := twoTriangles()
+	s := Summarize(g, comm)
+	if s.NumCommunities != 2 {
+		t.Fatalf("NumCommunities = %d", s.NumCommunities)
+	}
+	for _, c := range s.Communities {
+		if c.Size != 3 {
+			t.Errorf("community %d size %d, want 3", c.ID, c.Size)
+		}
+		if c.InternalW != 3 {
+			t.Errorf("community %d internal %v, want 3", c.ID, c.InternalW)
+		}
+		if c.CutW != 1 {
+			t.Errorf("community %d cut %v, want 1", c.ID, c.CutW)
+		}
+		// conductance = 1/(2*3+1) = 1/7
+		if math.Abs(c.Conductance-1.0/7) > 1e-12 {
+			t.Errorf("conductance = %v", c.Conductance)
+		}
+	}
+	if math.Abs(s.CutFraction-1.0/7) > 1e-12 {
+		t.Errorf("CutFraction = %v, want 1/7", s.CutFraction)
+	}
+	if s.Singletons != 0 {
+		t.Errorf("Singletons = %d", s.Singletons)
+	}
+}
+
+func TestSummarizeSingletons(t *testing.T) {
+	g := graph.NewBuilder(3).Build()
+	s := Summarize(g, []int{0, 1, 2})
+	if s.NumCommunities != 3 || s.Singletons != 3 {
+		t.Fatalf("%+v", s)
+	}
+}
+
+func TestSummarizePanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	g, _ := twoTriangles()
+	Summarize(g, []int{0})
+}
+
+func TestWriteText(t *testing.T) {
+	g, comm := twoTriangles()
+	var buf bytes.Buffer
+	if err := Summarize(g, comm).WriteText(&buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"communities: 2", "conductance", "inter-community"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteTextTopN(t *testing.T) {
+	g, truth := gen.PlantedPartition(3, gen.PlantedConfig{
+		N: 200, NumComms: 20, AvgDegree: 6, Mixing: 0.1,
+	})
+	var buf bytes.Buffer
+	if err := Summarize(g, truth).WriteText(&buf, 5); err != nil {
+		t.Fatal(err)
+	}
+	// Header lines + 5 rows.
+	if lines := strings.Count(buf.String(), "\n"); lines != 8 {
+		t.Fatalf("got %d lines, want 8:\n%s", lines, buf.String())
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	g, comm := twoTriangles()
+	var buf bytes.Buffer
+	if err := WriteDOT(&buf, g, comm, 0); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "graph communities {") {
+		t.Fatalf("not DOT:\n%s", out)
+	}
+	if !strings.Contains(out, "c0 -- c1") && !strings.Contains(out, "c1 -- c0") {
+		t.Errorf("missing inter-community edge:\n%s", out)
+	}
+	if !strings.Contains(out, "(3)") {
+		t.Errorf("missing size labels:\n%s", out)
+	}
+}
+
+func TestWriteDOTCapsNodes(t *testing.T) {
+	g, truth := gen.PlantedPartition(7, gen.PlantedConfig{
+		N: 300, NumComms: 30, AvgDegree: 6, Mixing: 0.1,
+	})
+	var buf bytes.Buffer
+	if err := WriteDOT(&buf, g, truth, 10); err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(buf.String(), "[label="); n > 10 {
+		t.Fatalf("%d nodes written, cap was 10", n)
+	}
+}

@@ -1,0 +1,62 @@
+package dinfomap
+
+// Multi-trial runners: like the reference Infomap implementation, the
+// greedy optimization is seed-sensitive, and production use runs
+// several independent trials and keeps the partition with the shortest
+// codelength.
+
+// RunSequentialTrials runs sequential Infomap `trials` times with seeds
+// cfg.Seed, cfg.Seed+1, ... and returns the result with the lowest
+// codelength. trials < 1 is treated as 1.
+func RunSequentialTrials(g *Graph, cfg SequentialConfig, trials int) *SequentialResult {
+	if trials < 1 {
+		trials = 1
+	}
+	var best *SequentialResult
+	for t := 0; t < trials; t++ {
+		c := cfg
+		c.Seed = cfg.Seed + uint64(t)
+		res := RunSequential(g, c)
+		if best == nil || res.Codelength < best.Codelength {
+			best = res
+		}
+	}
+	return best
+}
+
+// RunDistributedTrials runs the distributed algorithm `trials` times
+// with consecutive seeds and returns the result with the lowest
+// codelength. trials < 1 is treated as 1.
+func RunDistributedTrials(g *Graph, cfg DistributedConfig, trials int) *DistributedResult {
+	if trials < 1 {
+		trials = 1
+	}
+	var best *DistributedResult
+	for t := 0; t < trials; t++ {
+		c := cfg
+		c.Seed = cfg.Seed + uint64(t)
+		res := RunDistributed(g, c)
+		if best == nil || res.Codelength < best.Codelength {
+			best = res
+		}
+	}
+	return best
+}
+
+// RunDirectedTrials runs directed Infomap `trials` times with
+// consecutive seeds and returns the best result.
+func RunDirectedTrials(g *DirectedGraph, cfg DirectedConfig, trials int) *DirectedResult {
+	if trials < 1 {
+		trials = 1
+	}
+	var best *DirectedResult
+	for t := 0; t < trials; t++ {
+		c := cfg
+		c.Seed = cfg.Seed + uint64(t)
+		res := RunDirected(g, c)
+		if best == nil || res.Codelength < best.Codelength {
+			best = res
+		}
+	}
+	return best
+}

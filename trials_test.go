@@ -1,0 +1,59 @@
+package dinfomap
+
+import "testing"
+
+func TestTrialsNeverWorseThanSingle(t *testing.T) {
+	pg := GeneratePlanted(PlantedConfig{
+		N: 400, NumComms: 8, AvgDegree: 8, Mixing: 0.25,
+	}, 7)
+	single := RunSequential(pg.Graph, SequentialConfig{Seed: 1})
+	multi := RunSequentialTrials(pg.Graph, SequentialConfig{Seed: 1}, 4)
+	if multi.Codelength > single.Codelength {
+		t.Fatalf("4 trials (%.4f) worse than 1 trial (%.4f)",
+			multi.Codelength, single.Codelength)
+	}
+}
+
+func TestTrialsDistributed(t *testing.T) {
+	pg := GeneratePlanted(PlantedConfig{
+		N: 300, NumComms: 6, AvgDegree: 8, Mixing: 0.2,
+	}, 9)
+	single := RunDistributed(pg.Graph, DistributedConfig{P: 3, Seed: 1})
+	multi := RunDistributedTrials(pg.Graph, DistributedConfig{P: 3, Seed: 1}, 3)
+	if multi.Codelength > single.Codelength {
+		t.Fatalf("3 trials (%.4f) worse than 1 (%.4f)",
+			multi.Codelength, single.Codelength)
+	}
+}
+
+func TestTrialsDirected(t *testing.T) {
+	b := NewDirectedBuilder(6)
+	for _, base := range []int{0, 3} {
+		for i := 0; i < 3; i++ {
+			for j := 0; j < 3; j++ {
+				if i != j {
+					b.AddArc(base+i, base+j)
+				}
+			}
+		}
+	}
+	b.AddArc(0, 3)
+	g := b.Build()
+	single := RunDirected(g, DirectedConfig{Seed: 1})
+	multi := RunDirectedTrials(g, DirectedConfig{Seed: 1}, 3)
+	if multi.Codelength > single.Codelength {
+		t.Fatalf("trials made it worse: %v vs %v", multi.Codelength, single.Codelength)
+	}
+}
+
+func TestTrialsDegenerateCount(t *testing.T) {
+	pg := GeneratePlanted(PlantedConfig{
+		N: 100, NumComms: 4, AvgDegree: 6, Mixing: 0.2,
+	}, 11)
+	if r := RunSequentialTrials(pg.Graph, SequentialConfig{Seed: 1}, 0); r == nil {
+		t.Fatal("trials=0 returned nil")
+	}
+	if r := RunDistributedTrials(pg.Graph, DistributedConfig{P: 2, Seed: 1}, -3); r == nil {
+		t.Fatal("trials=-3 returned nil")
+	}
+}
