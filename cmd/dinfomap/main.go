@@ -4,19 +4,31 @@
 //
 //	dinfomap -p 8 [-dhigh N] [-seed S] [-out comms.txt] graph.txt
 //	dinfomap -p 8 -dataset uk-2005 [-scale 0.5]
+//	dinfomap -p 8 -dataset amazon -trace run.trace.json -metrics run.json
 //
 // The input is a whitespace-separated edge list ("u v" or "u v w" per
 // line, '#' comments), or one of the built-in synthetic stand-in
 // datasets. The tool prints the codelength, module count, per-stage
 // modeled times, and the Figure 8 phase breakdown; with -out it also
 // writes "vertex community" lines.
+//
+// Observability: -trace writes a Chrome trace-event JSON timeline (one
+// row per rank; open in Perfetto or chrome://tracing), -metrics writes
+// the structured JSON run report, and -cpuprofile / -memprofile /
+// -pprof wire in the standard Go profilers.
 package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"dinfomap"
@@ -34,20 +46,51 @@ func main() {
 		dotPath = flag.String("dot", "", "write the community quotient graph as GraphViz DOT")
 		top     = flag.Int("top", 0, "print a report of the top N communities")
 		quiet   = flag.Bool("q", false, "suppress the breakdown report")
+
+		tracePath   = flag.String("trace", "", "write a Chrome trace-event JSON timeline to this file")
+		metricsPath = flag.String("metrics", "", "write the structured JSON run report to this file")
+		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile  = flag.String("memprofile", "", "write a heap profile to this file")
+		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "dinfomap: pprof listener:", err)
+			}
+		}()
+		fmt.Printf("pprof: http://%s/debug/pprof/\n", *pprofAddr)
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "dinfomap:", err)
+			}
+		}()
+	}
+
 	g, err := loadGraph(*dataset, *scale, flag.Arg(0))
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "dinfomap:", err)
-		os.Exit(1)
+		fatal(err)
 	}
 	fmt.Printf("graph: %d vertices, %d edges\n", g.NumVertices(), g.NumEdges())
 
+	cfg := dinfomap.DistributedConfig{P: *p, DHigh: *dHigh, Seed: *seed}
+	if *tracePath != "" {
+		cfg.Journal = dinfomap.NewRunJournal(*p)
+	}
 	start := time.Now()
-	res := dinfomap.RunDistributed(g, dinfomap.DistributedConfig{
-		P: *p, DHigh: *dHigh, Seed: *seed,
-	})
+	res := dinfomap.RunDistributed(g, cfg)
 	wall := time.Since(start)
 
 	fmt.Printf("modules:     %d\n", res.NumModules)
@@ -73,30 +116,53 @@ func main() {
 	if *top > 0 {
 		fmt.Printf("\ntop %d communities:\n", *top)
 		if err := dinfomap.SummarizeCommunities(g, res.Communities).WriteText(os.Stdout, *top); err != nil {
-			fmt.Fprintln(os.Stderr, "dinfomap:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 	}
+	if *tracePath != "" {
+		if err := writeFile(*tracePath, func(w io.Writer) error {
+			return dinfomap.WriteChromeTrace(w, cfg.Journal)
+		}); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s (%d events; open in https://ui.perfetto.dev)\n",
+			*tracePath, cfg.Journal.NumEvents())
+	}
+	if *metricsPath != "" {
+		rep := dinfomap.BuildRunReport(g, cfg, res)
+		if err := writeFile(*metricsPath, rep.WriteJSON); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *metricsPath)
+	}
 	if *dotPath != "" {
-		f, err := os.Create(*dotPath)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "dinfomap:", err)
-			os.Exit(1)
+		if err := writeFile(*dotPath, func(w io.Writer) error {
+			return dinfomap.WriteCommunityDOT(w, g, res.Communities, 0)
+		}); err != nil {
+			fatal(err)
 		}
-		if err := dinfomap.WriteCommunityDOT(f, g, res.Communities, 0); err != nil {
-			fmt.Fprintln(os.Stderr, "dinfomap:", err)
-			os.Exit(1)
-		}
-		f.Close()
 		fmt.Printf("wrote %s\n", *dotPath)
 	}
 	if *outPath != "" {
 		if err := writeCommunities(*outPath, res.Communities); err != nil {
-			fmt.Fprintln(os.Stderr, "dinfomap:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		fmt.Printf("wrote %s\n", *outPath)
 	}
+	if *memProfile != "" {
+		runtime.GC()
+		if err := writeFile(*memProfile, func(w io.Writer) error {
+			return pprof.WriteHeapProfile(w)
+		}); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *memProfile)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dinfomap:", err)
+	os.Exit(1)
 }
 
 func loadGraph(dataset string, scale float64, path string) (*dinfomap.Graph, error) {
@@ -129,18 +195,35 @@ func loadGraph(dataset string, scale float64, path string) (*dinfomap.Graph, err
 	return dinfomap.ReadEdgeList(f)
 }
 
-func writeCommunities(path string, comms []int) error {
+// writeFile creates path, streams fn's output through a buffered
+// writer, and reports flush/close errors exactly once (the file is
+// closed on every path, but never double-closed).
+func writeFile(path string, fn func(io.Writer) error) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
 	w := bufio.NewWriter(f)
-	for u, c := range comms {
-		fmt.Fprintf(w, "%d %d\n", u, c)
+	err = fn(w)
+	if err == nil {
+		err = w.Flush()
 	}
-	if err := w.Flush(); err != nil {
-		return err
+	if cerr := f.Close(); err == nil {
+		err = cerr
 	}
-	return f.Close()
+	if err != nil {
+		return errors.Join(fmt.Errorf("writing %s", path), err)
+	}
+	return nil
+}
+
+func writeCommunities(path string, comms []int) error {
+	return writeFile(path, func(w io.Writer) error {
+		for u, c := range comms {
+			if _, err := fmt.Fprintf(w, "%d %d\n", u, c); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
 }

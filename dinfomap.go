@@ -27,6 +27,7 @@ import (
 	"dinfomap/internal/infomap"
 	"dinfomap/internal/louvain"
 	"dinfomap/internal/metrics"
+	"dinfomap/internal/obs"
 	"dinfomap/internal/partition"
 	"dinfomap/internal/relax"
 	"dinfomap/internal/report"
@@ -156,6 +157,35 @@ type GossipResult = gossip.Result
 // RunGossip executes the distributed label-propagation baseline on g.
 func RunGossip(g *Graph, cfg GossipConfig) *GossipResult {
 	return gossip.Run(g, cfg)
+}
+
+// ---- Observability ----
+
+// RunJournal is the per-rank event journal of a distributed run: one
+// record per phase per synchronized sweep, per rank. Create one with
+// NewRunJournal, assign it to DistributedConfig.Journal, then export it
+// with WriteChromeTrace after RunDistributed returns.
+type RunJournal = obs.Journal
+
+// NewRunJournal returns an event journal for p ranks.
+func NewRunJournal(p int) *RunJournal { return obs.NewJournal(p) }
+
+// WriteChromeTrace exports a run journal as Chrome trace-event JSON
+// (one timeline row per rank), viewable in Perfetto or chrome://tracing.
+func WriteChromeTrace(w io.Writer, j *RunJournal) error {
+	return obs.WriteChromeTrace(w, j)
+}
+
+// RunReport is the structured, stable-schema JSON report of one
+// distributed run; see BuildRunReport.
+type RunReport = obs.Report
+
+// BuildRunReport assembles the machine-readable run report (convergence
+// traces, modeled and host timings, per-rank per-phase costs) from a
+// finished distributed run. cfg should be the config passed to
+// RunDistributed. Serialize with RunReport.WriteJSON.
+func BuildRunReport(g *Graph, cfg DistributedConfig, res *DistributedResult) *RunReport {
+	return core.BuildReport(g, cfg, res)
 }
 
 // ---- Quality measures ----

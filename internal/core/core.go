@@ -7,6 +7,7 @@ import (
 	"dinfomap/internal/graph"
 	"dinfomap/internal/mapeq"
 	"dinfomap/internal/mpi"
+	"dinfomap/internal/obs"
 	"dinfomap/internal/partition"
 	"dinfomap/internal/trace"
 )
@@ -48,6 +49,10 @@ type Config struct {
 	// CostModel converts measured work/traffic into modeled times; the
 	// zero value means trace.DefaultCostModel().
 	CostModel trace.CostModel
+	// Journal, when non-nil, receives a per-rank event record for every
+	// phase of every synchronized sweep (see package obs). It must have
+	// at least P rank slots; nil disables journaling at zero cost.
+	Journal *obs.Journal
 }
 
 func (c Config) withDefaults() Config {
@@ -100,6 +105,16 @@ type Result struct {
 	PhaseOps map[string]int64
 	// Stage1Iterations / Stage2Iterations count synchronized sweeps.
 	Stage1Iterations, Stage2Iterations int
+
+	// PerRankPhase[r] is rank r's measured stage-1 cost per phase (the
+	// raw inputs behind PhaseModeled, before the max-over-ranks).
+	PerRankPhase []map[string]trace.RankCost
+	// PerRankStage2[r] is rank r's total stage-2 cost.
+	PerRankStage2 []trace.RankCost
+	// PerRankWall1 / PerRankWall2 are each rank's host wall times per stage.
+	PerRankWall1, PerRankWall2 []time.Duration
+	// PerRankEvals[r] is rank r's delta-L evaluation count.
+	PerRankEvals []int64
 
 	// CommStats is each rank's cumulative traffic.
 	CommStats []mpi.Stats
@@ -218,6 +233,17 @@ func (rs *runState) finish(res *Result) {
 	res.OuterIterations = len(o.mdlTrace)
 	res.Stage1Iterations = o.stage1Iters
 	res.Stage2Iterations = o.stage2Iters
+
+	// Publish the raw per-rank measurements (telemetry consumers build
+	// the JSON run report from these).
+	res.PerRankPhase = make([]map[string]trace.RankCost, rs.cfg.P)
+	for r := range rs.perRankPhase {
+		res.PerRankPhase[r] = rs.perRankPhase[r]
+	}
+	res.PerRankStage2 = rs.perRankStage2
+	res.PerRankWall1 = rs.perRankWall1
+	res.PerRankWall2 = rs.perRankWall2
+	res.PerRankEvals = rs.perRankEvals
 
 	// Wall times: the slowest rank gates each stage.
 	for r := 0; r < rs.cfg.P; r++ {

@@ -162,8 +162,10 @@ func (lv *level) localHubWeights(h, target, from int) (wTo, wFrom float64) {
 // swapGhostComms runs the community-id half of the SwapBoundaryInfo
 // phase: every rank sends the current community of each owned boundary
 // vertex to the ranks ghosting it, every iteration (the paper observes
-// this traffic is stable across iterations, Figure 8).
-func (lv *level) swapGhostComms() {
+// this traffic is stable across iterations, Figure 8). It returns the
+// number of ghost updates shipped, which the event journal records as
+// the phase's swap count.
+func (lv *level) swapGhostComms() (sent int) {
 	encs := make([]*mpi.Encoder, lv.p)
 	for v, subs := range lv.subscribers {
 		gu := ghostUpdate{Vertex: v, Comm: lv.comm[v]}
@@ -172,6 +174,7 @@ func (lv *level) swapGhostComms() {
 				encs[dst] = mpi.NewEncoder(256)
 			}
 			gu.encode(encs[dst])
+			sent++
 		}
 	}
 	bufs := make([][]byte, lv.p)
@@ -188,6 +191,7 @@ func (lv *level) swapGhostComms() {
 			lv.comm[gu.Vertex] = gu.Comm
 		}
 	}
+	return sent
 }
 
 // refresh rebuilds authoritative module statistics and the global Eq. 3

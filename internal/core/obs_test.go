@@ -1,0 +1,187 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"dinfomap/internal/obs"
+	"dinfomap/internal/trace"
+)
+
+// runJournaled runs a small deterministic graph with journaling on.
+func runJournaled(t *testing.T, p int) (*obs.Journal, *Result, Config) {
+	t.Helper()
+	g, _ := planted(7, 400, 8, 0.2)
+	j := obs.NewJournal(p)
+	cfg := Config{P: p, Seed: 3, Journal: j}
+	res := Run(g, cfg)
+	return j, res, cfg
+}
+
+func TestJournalRecordsAllRanksAndPhases(t *testing.T) {
+	const p = 4
+	j, res, _ := runJournaled(t, p)
+
+	if res.NumModules < 2 {
+		t.Fatalf("degenerate run: %d modules", res.NumModules)
+	}
+	for r := 0; r < p; r++ {
+		evs := j.Rank(r).Events()
+		if len(evs) == 0 {
+			t.Fatalf("rank %d journaled no events", r)
+		}
+		// Per-rank timestamps must be monotone in emission order, and
+		// every span must be well-formed.
+		seen := map[obs.PhaseID]bool{}
+		prev := evs[0].Start
+		for i, ev := range evs {
+			if ev.Start < prev {
+				t.Fatalf("rank %d event %d starts at %v before previous start %v",
+					r, i, ev.Start, prev)
+			}
+			prev = ev.Start
+			if ev.End < ev.Start {
+				t.Fatalf("rank %d event %d: End %v < Start %v", r, i, ev.End, ev.Start)
+			}
+			if ev.Stage != 1 && ev.Stage != 2 {
+				t.Fatalf("rank %d event %d: bad stage %d", r, i, ev.Stage)
+			}
+			seen[ev.Phase] = true
+		}
+		for _, ph := range []obs.PhaseID{
+			obs.PhaseFindBestModule, obs.PhaseBcastDelegates,
+			obs.PhaseSwapBoundary, obs.PhaseOther,
+		} {
+			if !seen[ph] {
+				t.Errorf("rank %d journal missing phase %s", r, ph.Name())
+			}
+		}
+	}
+
+	// The journal's per-iteration delta-L evals must sum to the run's
+	// global count (the journal and the cost accounting measure the same
+	// execution).
+	var journaled int64
+	for r := 0; r < p; r++ {
+		for _, ev := range j.Rank(r).Events() {
+			if ev.Phase == obs.PhaseFindBestModule {
+				journaled += ev.Ops
+			}
+		}
+	}
+	if journaled != res.DeltaEvaluations {
+		t.Fatalf("journaled evals %d != result DeltaEvaluations %d",
+			journaled, res.DeltaEvaluations)
+	}
+}
+
+func TestJournalChromeExportFromRealRun(t *testing.T) {
+	const p = 3
+	j, _, _ := runJournaled(t, p)
+
+	var buf bytes.Buffer
+	if err := obs.WriteChromeTrace(&buf, j); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Tid  int     `json:"tid"`
+			Ts   float64 `json:"ts"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	rows := map[int]bool{}
+	phases := map[string]bool{}
+	lastTs := map[int]float64{}
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			if ev.Name == "thread_name" {
+				rows[ev.Tid] = true
+			}
+		case "X":
+			phases[ev.Name] = true
+			if ev.Ts < lastTs[ev.Tid] {
+				t.Fatalf("tid %d timestamps not monotonic: %v after %v",
+					ev.Tid, ev.Ts, lastTs[ev.Tid])
+			}
+			lastTs[ev.Tid] = ev.Ts
+		}
+	}
+	if len(rows) != p {
+		t.Fatalf("trace has %d timeline rows, want %d", len(rows), p)
+	}
+	for _, ph := range []string{
+		trace.PhaseFindBestModule, trace.PhaseBcastDelegates,
+		trace.PhaseSwapBoundary, trace.PhaseOther,
+	} {
+		if !phases[ph] {
+			t.Errorf("trace missing %s spans", ph)
+		}
+	}
+}
+
+func TestBuildReportFromRealRun(t *testing.T) {
+	const p = 4
+	_, res, cfg := runJournaled(t, p)
+	g, _ := planted(7, 400, 8, 0.2)
+
+	rep := BuildReport(g, cfg, res)
+	if rep.Schema != obs.ReportSchema {
+		t.Fatalf("schema = %q", rep.Schema)
+	}
+	if len(rep.Convergence.MDLTrace) != len(res.MDLTrace) {
+		t.Fatalf("report MDL trace %v != result %v", rep.Convergence.MDLTrace, res.MDLTrace)
+	}
+	if len(rep.Ranks) != p {
+		t.Fatalf("report has %d ranks, want %d", len(rep.Ranks), p)
+	}
+	for r, rr := range rep.Ranks {
+		if rr.Rank != r {
+			t.Fatalf("rank %d slot holds rank %d", r, rr.Rank)
+		}
+		if len(rr.Phases) == 0 {
+			t.Fatalf("rank %d has no phase costs", r)
+		}
+		for ph, c := range rr.Phases {
+			want := res.PerRankPhase[r][ph]
+			if c.Ops != want.Ops || c.Msgs != want.Msgs || c.Bytes != want.Bytes {
+				t.Fatalf("rank %d phase %s cost %+v != result %+v", r, ph, c, want)
+			}
+		}
+	}
+	// JSON round trip through the public parser.
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := obs.ParseReport(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Quality.Codelength != res.Codelength {
+		t.Fatalf("codelength %v lost in round trip (got %v)",
+			res.Codelength, back.Quality.Codelength)
+	}
+}
+
+func TestRunWithoutJournalPublishesPerRankCosts(t *testing.T) {
+	g, _ := planted(9, 300, 6, 0.2)
+	res := Run(g, Config{P: 3, Seed: 5})
+	if len(res.PerRankPhase) != 3 || len(res.PerRankStage2) != 3 {
+		t.Fatalf("per-rank slices missing: %d, %d",
+			len(res.PerRankPhase), len(res.PerRankStage2))
+	}
+	var evals int64
+	for r := 0; r < 3; r++ {
+		evals += res.PerRankEvals[r]
+	}
+	if evals != res.DeltaEvaluations {
+		t.Fatalf("per-rank evals %d != total %d", evals, res.DeltaEvaluations)
+	}
+}

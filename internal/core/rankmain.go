@@ -5,6 +5,7 @@ import (
 
 	"dinfomap/internal/mapeq"
 	"dinfomap/internal/mpi"
+	"dinfomap/internal/obs"
 	"dinfomap/internal/trace"
 )
 
@@ -21,8 +22,8 @@ func (pc phaseCosts) add(name string, c trace.RankCost) {
 
 // commDelta returns the sent-side traffic between two stats snapshots.
 func commDelta(before, after mpi.Stats) (msgs, bytes int64) {
-	return (after.MsgsSent + after.CollectiveMsgs) - (before.MsgsSent + before.CollectiveMsgs),
-		(after.BytesSent + after.CollectiveBytes) - (before.BytesSent + before.CollectiveBytes)
+	d := after.Sub(before)
+	return d.MsgsSent + d.CollectiveMsgs, d.BytesSent + d.CollectiveBytes
 }
 
 // clusterOutcome reports one level's converged clustering.
@@ -42,10 +43,15 @@ func (lv *level) cluster(costs phaseCosts) clusterOutcome {
 	out.liveBefore = lv.c.AllreduceI64(int64(len(lv.ownedActive)), mpi.OpSum)
 
 	// Iteration-0 refresh: exact singleton aggregates everywhere.
+	j0 := lv.jlog.Now()
 	before := lv.c.Stats()
 	out.numModules = lv.refresh()
 	msgs, bytes := commDelta(before, lv.c.Stats())
 	costs.add(trace.PhaseOther, trace.RankCost{Msgs: msgs, Bytes: bytes})
+	lv.jlog.Emit(obs.Event{
+		Stage: lv.jstage, Outer: lv.jouter, Iter: -1, Phase: obs.PhaseOther,
+		Start: j0, End: lv.jlog.Now(), Msgs: msgs, Bytes: bytes,
+	})
 
 	s := lv.newScratch()
 	bestL := lv.agg.L()
@@ -53,14 +59,22 @@ func (lv *level) cluster(costs phaseCosts) clusterOutcome {
 	for iter := 0; iter < lv.cfg.MaxSweeps; iter++ {
 		// --- FindBestModule ---
 		lv.timer.Start(trace.PhaseFindBestModule)
+		jt := lv.jlog.Now()
 		evalsBefore := lv.deltaEvals
 		lv.dampP = dampProb(iter)
 		moves, deferred, cands := lv.sweep(s, passBudget(iter))
 		lv.timer.Stop(trace.PhaseFindBestModule)
 		costs.add(trace.PhaseFindBestModule, trace.RankCost{Ops: lv.deltaEvals - evalsBefore})
+		lv.jlog.Emit(obs.Event{
+			Stage: lv.jstage, Outer: lv.jouter, Iter: int32(iter),
+			Phase: obs.PhaseFindBestModule, Start: jt, End: lv.jlog.Now(),
+			Moves: int32(moves), Deferred: int32(deferred),
+			Ops: lv.deltaEvals - evalsBefore,
+		})
 
 		// --- BroadcastDelegates ---
 		lv.timer.Start(trace.PhaseBcastDelegates)
+		jt = lv.jlog.Now()
 		before = lv.c.Stats()
 		hubMoves := lv.broadcastDelegates(cands)
 		msgs, bytes = commDelta(before, lv.c.Stats())
@@ -68,25 +82,43 @@ func (lv *level) cluster(costs phaseCosts) clusterOutcome {
 		costs.add(trace.PhaseBcastDelegates, trace.RankCost{
 			Ops: int64(len(cands)), Msgs: msgs, Bytes: bytes,
 		})
+		lv.jlog.Emit(obs.Event{
+			Stage: lv.jstage, Outer: lv.jouter, Iter: int32(iter),
+			Phase: obs.PhaseBcastDelegates, Start: jt, End: lv.jlog.Now(),
+			Moves: int32(hubMoves),
+			Ops:   int64(len(cands)), Msgs: msgs, Bytes: bytes,
+		})
 
 		// --- SwapBoundaryInfo ---
 		lv.timer.Start(trace.PhaseSwapBoundary)
+		jt = lv.jlog.Now()
 		before = lv.c.Stats()
-		lv.swapGhostComms()
+		swaps := lv.swapGhostComms()
 		msgs, bytes = commDelta(before, lv.c.Stats())
 		lv.timer.Stop(trace.PhaseSwapBoundary)
 		costs.add(trace.PhaseSwapBoundary, trace.RankCost{
 			Ops: int64(len(lv.ghosts)), Msgs: msgs, Bytes: bytes,
 		})
+		lv.jlog.Emit(obs.Event{
+			Stage: lv.jstage, Outer: lv.jouter, Iter: int32(iter),
+			Phase: obs.PhaseSwapBoundary, Start: jt, End: lv.jlog.Now(),
+			Ops: int64(swaps), Msgs: msgs, Bytes: bytes,
+		})
 
 		// --- Other: module refresh + MDL reduction + convergence vote ---
 		lv.timer.Start(trace.PhaseOther)
+		jt = lv.jlog.Now()
 		before = lv.c.Stats()
 		out.numModules = lv.refresh()
 		total := lv.c.AllreduceI64(int64(moves+hubMoves+deferred), mpi.OpSum)
 		msgs, bytes = commDelta(before, lv.c.Stats())
 		lv.timer.Stop(trace.PhaseOther)
 		costs.add(trace.PhaseOther, trace.RankCost{
+			Ops: int64(len(lv.mods)), Msgs: msgs, Bytes: bytes,
+		})
+		lv.jlog.Emit(obs.Event{
+			Stage: lv.jstage, Outer: lv.jouter, Iter: int32(iter),
+			Phase: obs.PhaseOther, Start: jt, End: lv.jlog.Now(),
 			Ops: int64(len(lv.mods)), Msgs: msgs, Bytes: bytes,
 		})
 
@@ -141,6 +173,8 @@ func (rs *runState) rankMain(c *mpi.Comm) {
 	flow := rs.flow
 	lv := newStage1Level(c, cfg, rs.layout, flow.P, flow.Exit, flow.Norm(),
 		flow.SumPlogpP, cfg.Seed)
+	jlog := cfg.Journal.Rank(rank)
+	lv.jlog, lv.jstage = jlog, 1
 
 	costs1 := make(phaseCosts)
 	t0 := time.Now()
@@ -179,6 +213,7 @@ func (rs *runState) rankMain(c *mpi.Comm) {
 		}
 		arcs := cur.mergeShuffle()
 		merged := newMergedLevel(c, cfg, idSpace, arcs, vertexTerm, cfg.Seed, outer)
+		merged.jlog, merged.jstage, merged.jouter = jlog, 2, uint16(outer)
 		oc = merged.cluster(costs2)
 		iters2 += oc.iterations
 		deltaEvals += merged.deltaEvals

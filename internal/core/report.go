@@ -1,0 +1,92 @@
+package core
+
+import (
+	"dinfomap/internal/graph"
+	"dinfomap/internal/obs"
+	"dinfomap/internal/trace"
+)
+
+// BuildReport assembles the structured JSON run report (obs.Report)
+// from a finished run: the convergence traces, modeled and host
+// timings, partition balance, and the full per-rank per-phase
+// measurements. cfg should be the Config the run was started with.
+func BuildReport(g *graph.Graph, cfg Config, res *Result) *obs.Report {
+	cfg = cfg.withDefaults()
+	rep := &obs.Report{
+		Schema: obs.ReportSchema,
+		Graph: obs.GraphInfo{
+			Vertices:    g.NumVertices(),
+			Edges:       g.NumEdges(),
+			TotalWeight: g.TotalWeight(),
+		},
+		Config: obs.ConfigInfo{
+			P:     cfg.P,
+			DHigh: cfg.DHigh,
+			Seed:  cfg.Seed,
+			Theta: cfg.Theta,
+		},
+		Quality: obs.QualityInfo{
+			Codelength:        res.Codelength,
+			InitialCodelength: res.InitialCodelength,
+			NumModules:        res.NumModules,
+		},
+		Convergence: obs.ConvergenceInfo{
+			MDLTrace:        res.MDLTrace,
+			MergeRate:       res.MergeRate,
+			OuterIterations: res.OuterIterations,
+			Stage1Sweeps:    res.Stage1Iterations,
+			Stage2Sweeps:    res.Stage2Iterations,
+		},
+		Timing: obs.TimingInfo{
+			Stage1WallNs:    res.Stage1Wall.Nanoseconds(),
+			Stage2WallNs:    res.Stage2Wall.Nanoseconds(),
+			Stage1ModeledNs: res.Stage1Modeled.Nanoseconds(),
+			Stage2ModeledNs: res.Stage2Modeled.Nanoseconds(),
+			TotalModeledNs:  res.TotalModeled().Nanoseconds(),
+			PhaseModeledNs:  make(map[string]int64, len(res.PhaseModeled)),
+		},
+		Partition: obs.PartitionInfo{
+			NumHubs:       res.Partition.NumHubs,
+			MinEdges:      res.Partition.MinEdges,
+			MaxEdges:      res.Partition.MaxEdges,
+			MinGhosts:     res.Partition.MinGhosts,
+			MaxGhosts:     res.Partition.MaxGhosts,
+			EdgeImbalance: res.Partition.EdgeImbalance,
+		},
+		MaxRankBytes:     res.MaxRankBytes,
+		DeltaEvaluations: res.DeltaEvaluations,
+	}
+	for ph, d := range res.PhaseModeled {
+		rep.Timing.PhaseModeledNs[ph] = d.Nanoseconds()
+	}
+	for r := 0; r < cfg.P && r < len(res.PerRankPhase); r++ {
+		rr := obs.RankReport{
+			Rank:   r,
+			Phases: make(map[string]obs.PhaseCost, len(res.PerRankPhase[r])),
+		}
+		for ph, c := range res.PerRankPhase[r] {
+			rr.Phases[ph] = phaseCost(c)
+		}
+		if r < len(res.PerRankStage2) {
+			rr.Stage2 = phaseCost(res.PerRankStage2[r])
+		}
+		if r < len(res.PerRankWall1) {
+			rr.Wall1Ns = res.PerRankWall1[r].Nanoseconds()
+		}
+		if r < len(res.PerRankWall2) {
+			rr.Wall2Ns = res.PerRankWall2[r].Nanoseconds()
+		}
+		if r < len(res.PerRankEvals) {
+			rr.DeltaEvals = res.PerRankEvals[r]
+		}
+		if r < len(res.CommStats) {
+			rr.Comm = obs.CommFromStats(res.CommStats[r])
+		}
+		rep.Ranks = append(rep.Ranks, rr)
+	}
+	return rep
+}
+
+func phaseCost(c trace.RankCost) obs.PhaseCost {
+	return obs.PhaseCost{Ops: c.Ops, Msgs: c.Msgs, Bytes: c.Bytes}
+}

@@ -6,6 +6,7 @@ import (
 	"dinfomap/internal/gen"
 	"dinfomap/internal/mapeq"
 	"dinfomap/internal/mpi"
+	"dinfomap/internal/obs"
 	"dinfomap/internal/partition"
 	"dinfomap/internal/trace"
 )
@@ -83,7 +84,13 @@ type level struct {
 	// sentVersion[dst][mod] is the version last sent to rank dst.
 	sentVersion []map[int]int
 
-	timer      *trace.Timer
+	timer *trace.Timer
+	// jlog receives this rank's journal events (nil = journaling off);
+	// jstage/jouter tag them with the clustering stage and merge round.
+	jlog   *obs.RankLog
+	jstage uint8
+	jouter uint16
+
 	rng        *gen.RNG
 	deltaEvals int64
 	// dampP is the current remote-move deferral probability (set per

@@ -124,6 +124,21 @@ func (s *Stats) Add(other Stats) {
 	s.CollectiveMsgs += other.CollectiveMsgs
 }
 
+// Sub returns the field-wise delta s - prev between two snapshots of
+// the same rank's counters; telemetry uses it to attribute traffic to
+// the phase between the snapshots.
+func (s Stats) Sub(prev Stats) Stats {
+	return Stats{
+		BytesSent:       s.BytesSent - prev.BytesSent,
+		BytesRecv:       s.BytesRecv - prev.BytesRecv,
+		MsgsSent:        s.MsgsSent - prev.MsgsSent,
+		MsgsRecv:        s.MsgsRecv - prev.MsgsRecv,
+		Collectives:     s.Collectives - prev.Collectives,
+		CollectiveBytes: s.CollectiveBytes - prev.CollectiveBytes,
+		CollectiveMsgs:  s.CollectiveMsgs - prev.CollectiveMsgs,
+	}
+}
+
 // TotalBytes returns all bytes attributed to this rank (p2p + modeled
 // collective traffic).
 func (s Stats) TotalBytes() int64 {

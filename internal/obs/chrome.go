@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// chromeEvent is one record of the Chrome trace-event format
+// (the "JSON Object Format" consumed by Perfetto and chrome://tracing).
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Ts   float64        `json:"ts"`            // microseconds
+	Dur  float64        `json:"dur,omitempty"` // microseconds
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the top-level envelope.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+func usec(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+
+// WriteChromeTrace exports the journal as Chrome trace-event JSON: one
+// timeline row (thread) per rank, one complete-event span per journal
+// event, with the per-iteration counters attached as span args. Open the
+// output in https://ui.perfetto.dev or chrome://tracing.
+func WriteChromeTrace(w io.Writer, j *Journal) error {
+	if j == nil {
+		return fmt.Errorf("obs: nil journal")
+	}
+	evs := make([]chromeEvent, 0, j.NumEvents()+2*j.NumRanks()+1)
+	evs = append(evs, chromeEvent{
+		Name: "process_name", Ph: "M", Pid: 0,
+		Args: map[string]any{"name": "dinfomap"},
+	})
+	for r := 0; r < j.NumRanks(); r++ {
+		evs = append(evs,
+			chromeEvent{
+				Name: "thread_name", Ph: "M", Pid: 0, Tid: r,
+				Args: map[string]any{"name": fmt.Sprintf("rank %d", r)},
+			},
+			chromeEvent{
+				Name: "thread_sort_index", Ph: "M", Pid: 0, Tid: r,
+				Args: map[string]any{"sort_index": r},
+			},
+		)
+	}
+	for r := 0; r < j.NumRanks(); r++ {
+		for _, ev := range j.Rank(r).Events() {
+			evs = append(evs, chromeEvent{
+				Name: ev.Phase.Name(),
+				Cat:  fmt.Sprintf("stage%d", ev.Stage),
+				Ph:   "X",
+				Pid:  0,
+				Tid:  r,
+				Ts:   usec(ev.Start),
+				Dur:  usec(ev.Dur()),
+				Args: map[string]any{
+					"stage":    ev.Stage,
+					"outer":    ev.Outer,
+					"iter":     ev.Iter,
+					"moves":    ev.Moves,
+					"deferred": ev.Deferred,
+					"ops":      ev.Ops,
+					"msgs":     ev.Msgs,
+					"bytes":    ev.Bytes,
+				},
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeTrace{TraceEvents: evs, DisplayTimeUnit: "ms"})
+}

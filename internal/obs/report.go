@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"dinfomap/internal/mpi"
+)
+
+// ReportSchema identifies the run-report JSON schema. Bump the suffix
+// when a field changes meaning or is removed; adding fields is
+// backward-compatible and does not bump it.
+const ReportSchema = "dinfomap-run-report/v1"
+
+// PhaseCost is one rank's measured work and traffic for one phase.
+type PhaseCost struct {
+	Ops   int64 `json:"ops"`
+	Msgs  int64 `json:"msgs"`
+	Bytes int64 `json:"bytes"`
+}
+
+// CommTotals mirrors mpi.Stats with stable JSON names.
+type CommTotals struct {
+	BytesSent       int64 `json:"bytes_sent"`
+	BytesRecv       int64 `json:"bytes_recv"`
+	MsgsSent        int64 `json:"msgs_sent"`
+	MsgsRecv        int64 `json:"msgs_recv"`
+	Collectives     int64 `json:"collectives"`
+	CollectiveBytes int64 `json:"collective_bytes"`
+	CollectiveMsgs  int64 `json:"collective_msgs"`
+}
+
+// CommFromStats converts an mpi.Stats snapshot to its report form.
+func CommFromStats(s mpi.Stats) CommTotals {
+	return CommTotals{
+		BytesSent:       s.BytesSent,
+		BytesRecv:       s.BytesRecv,
+		MsgsSent:        s.MsgsSent,
+		MsgsRecv:        s.MsgsRecv,
+		Collectives:     s.Collectives,
+		CollectiveBytes: s.CollectiveBytes,
+		CollectiveMsgs:  s.CollectiveMsgs,
+	}
+}
+
+// RankReport is one rank's contribution to the run report.
+type RankReport struct {
+	Rank int `json:"rank"`
+	// Phases holds the stage-1 per-phase measured cost, keyed by the
+	// Figure-8 phase names.
+	Phases map[string]PhaseCost `json:"phases"`
+	// Stage2 is the rank's total stage-2 cost (all merged levels).
+	Stage2     PhaseCost  `json:"stage2"`
+	Wall1Ns    int64      `json:"wall1_ns"`
+	Wall2Ns    int64      `json:"wall2_ns"`
+	DeltaEvals int64      `json:"delta_evals"`
+	Comm       CommTotals `json:"comm"`
+}
+
+// GraphInfo summarizes the input graph.
+type GraphInfo struct {
+	Vertices    int     `json:"vertices"`
+	Edges       int     `json:"edges"`
+	TotalWeight float64 `json:"total_weight"`
+}
+
+// ConfigInfo records the run parameters that shape the result.
+type ConfigInfo struct {
+	P     int     `json:"p"`
+	DHigh int     `json:"dhigh"`
+	Seed  uint64  `json:"seed"`
+	Theta float64 `json:"theta"`
+}
+
+// QualityInfo records the partition quality outputs.
+type QualityInfo struct {
+	Codelength        float64 `json:"codelength"`
+	InitialCodelength float64 `json:"initial_codelength"`
+	NumModules        int     `json:"num_modules"`
+}
+
+// ConvergenceInfo carries the per-iteration traces (Figures 4-5).
+type ConvergenceInfo struct {
+	// MDLTrace[k] is the global codelength after outer iteration k.
+	MDLTrace []float64 `json:"mdl_trace"`
+	// MergeRate[k] is the fraction of original vertices merged away in
+	// outer iteration k.
+	MergeRate       []float64 `json:"merge_rate"`
+	OuterIterations int       `json:"outer_iterations"`
+	Stage1Sweeps    int       `json:"stage1_sweeps"`
+	Stage2Sweeps    int       `json:"stage2_sweeps"`
+}
+
+// TimingInfo compares modeled (alpha-beta cost model) and host
+// wall-clock times. Host walls measure all ranks interleaved on one
+// machine, so only the modeled numbers speak to parallel scalability.
+type TimingInfo struct {
+	Stage1WallNs    int64            `json:"stage1_wall_ns"`
+	Stage2WallNs    int64            `json:"stage2_wall_ns"`
+	Stage1ModeledNs int64            `json:"stage1_modeled_ns"`
+	Stage2ModeledNs int64            `json:"stage2_modeled_ns"`
+	TotalModeledNs  int64            `json:"total_modeled_ns"`
+	PhaseModeledNs  map[string]int64 `json:"phase_modeled_ns"`
+}
+
+// PartitionInfo summarizes the delegate layout (Figures 6-7).
+type PartitionInfo struct {
+	NumHubs       int     `json:"num_hubs"`
+	MinEdges      int     `json:"min_edges"`
+	MaxEdges      int     `json:"max_edges"`
+	MinGhosts     int     `json:"min_ghosts"`
+	MaxGhosts     int     `json:"max_ghosts"`
+	EdgeImbalance float64 `json:"edge_imbalance"`
+}
+
+// Report is the structured result of one distributed run: everything
+// the text output of cmd/dinfomap prints, in machine-readable form,
+// plus the full per-rank measurements.
+type Report struct {
+	Schema           string          `json:"schema"`
+	Graph            GraphInfo       `json:"graph"`
+	Config           ConfigInfo      `json:"config"`
+	Quality          QualityInfo     `json:"quality"`
+	Convergence      ConvergenceInfo `json:"convergence"`
+	Timing           TimingInfo      `json:"timing"`
+	Partition        PartitionInfo   `json:"partition"`
+	MaxRankBytes     int64           `json:"max_rank_bytes"`
+	DeltaEvaluations int64           `json:"delta_evaluations"`
+	Ranks            []RankReport    `json:"ranks"`
+}
+
+// WriteJSON writes r as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ParseReport decodes a report and checks its schema tag.
+func ParseReport(data []byte) (*Report, error) {
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("obs: bad run report: %w", err)
+	}
+	if r.Schema != ReportSchema {
+		return nil, fmt.Errorf("obs: unknown report schema %q (want %q)", r.Schema, ReportSchema)
+	}
+	return &r, nil
+}

@@ -46,15 +46,24 @@ func NewTimer() *Timer {
 	}
 }
 
-// Start begins timing phase; pair with Stop.
+// Start begins timing phase; pair with Stop. A re-entrant Start (the
+// phase is already running) restarts the span: the earlier, unfinished
+// span is discarded rather than double-counted.
 func (t *Timer) Start(phase string) { t.started[phase] = time.Now() }
 
-// Stop ends timing phase and accumulates the elapsed wall time.
+// Stop ends timing phase and accumulates the elapsed wall time. Stop
+// without a matching Start is a no-op.
 func (t *Timer) Stop(phase string) {
 	if s, ok := t.started[phase]; ok {
 		t.wall[phase] += time.Since(s)
 		delete(t.started, phase)
 	}
+}
+
+// Running reports whether phase has a Start without a matching Stop.
+func (t *Timer) Running(phase string) bool {
+	_, ok := t.started[phase]
+	return ok
 }
 
 // AddOps adds n operations (e.g. delta-L evaluations) to phase's counter.

@@ -31,6 +31,39 @@ func TestTimerStopWithoutStartIsNoop(t *testing.T) {
 	}
 }
 
+func TestTimerReentrantStartRestartsSpan(t *testing.T) {
+	tm := NewTimer()
+	tm.Start("a")
+	time.Sleep(30 * time.Millisecond)
+	// Re-entrant Start discards the unfinished 30ms span and restarts.
+	tm.Start("a")
+	tm.Stop("a")
+	if w := tm.Wall("a"); w >= 15*time.Millisecond {
+		t.Fatalf("re-entrant Start double-counted: Wall = %v", w)
+	}
+	// The phase is fully stopped: another Stop stays a no-op.
+	before := tm.Wall("a")
+	tm.Stop("a")
+	if tm.Wall("a") != before {
+		t.Fatalf("Stop after Stop changed Wall: %v -> %v", before, tm.Wall("a"))
+	}
+}
+
+func TestTimerRunning(t *testing.T) {
+	tm := NewTimer()
+	if tm.Running("a") {
+		t.Fatal("phase running before Start")
+	}
+	tm.Start("a")
+	if !tm.Running("a") {
+		t.Fatal("phase not running after Start")
+	}
+	tm.Stop("a")
+	if tm.Running("a") {
+		t.Fatal("phase still running after Stop")
+	}
+}
+
 func TestTimerOps(t *testing.T) {
 	tm := NewTimer()
 	tm.AddOps("x", 10)
