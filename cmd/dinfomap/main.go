@@ -171,6 +171,7 @@ func loadGraph(dataset string, scale float64, path string) (*dinfomap.Graph, err
 		if err != nil {
 			return nil, err
 		}
+		//dinfomap:float-ok flag sentinel: 1.0 is the literal "no scaling" default
 		if scale != 1.0 {
 			d.N = int(float64(d.N) * scale)
 			d.RMATEdges = int(float64(d.RMATEdges) * scale)
@@ -191,6 +192,7 @@ func loadGraph(dataset string, scale float64, path string) (*dinfomap.Graph, err
 	if err != nil {
 		return nil, err
 	}
+	//dinfomap:close-ok read-only file; close errors cannot lose data
 	defer f.Close()
 	return dinfomap.ReadEdgeList(f)
 }

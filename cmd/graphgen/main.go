@@ -54,6 +54,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		//dinfomap:float-ok flag sentinel: 1.0 is the literal "no scaling" default
 		if *scale != 1.0 {
 			d.N = int(float64(d.N) * *scale)
 			d.RMATEdges = int(float64(d.RMATEdges) * *scale)
@@ -82,16 +83,22 @@ func main() {
 	}
 
 	var w io.Writer = os.Stdout
+	var out *os.File
 	if *outPath != "" {
 		f, err := os.Create(*outPath)
 		if err != nil {
 			fatal(err)
 		}
-		defer f.Close()
+		out = f
 		w = f
 	}
 	if err := dinfomap.WriteEdgeList(w, g); err != nil {
 		fatal(err)
+	}
+	if out != nil {
+		if err := out.Close(); err != nil {
+			fatal(err)
+		}
 	}
 	st := dinfomap.ComputeDegreeStats(g)
 	fmt.Fprintf(os.Stderr, "generated %d vertices, %d edges, %s\n",
@@ -105,7 +112,9 @@ func main() {
 		for u, c := range groundTruth {
 			fmt.Fprintf(f, "%d %d\n", u, c)
 		}
-		f.Close()
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
 	}
 }
 

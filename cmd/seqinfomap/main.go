@@ -35,6 +35,7 @@ func main() {
 		os.Exit(1)
 	}
 	g, err := dinfomap.ReadEdgeList(f)
+	//dinfomap:close-ok read-only file; close errors cannot lose data
 	f.Close()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "seqinfomap:", err)
@@ -64,8 +65,14 @@ func main() {
 		for u, c := range res.Communities {
 			fmt.Fprintf(w, "%d %d\n", u, c)
 		}
-		w.Flush()
-		out.Close()
+		err = w.Flush()
+		if cerr := out.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "seqinfomap:", err)
+			os.Exit(1)
+		}
 		fmt.Printf("wrote %s\n", *outPath)
 	}
 }

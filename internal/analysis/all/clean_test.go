@@ -1,0 +1,29 @@
+package all_test
+
+import (
+	"testing"
+
+	"dinfomap/internal/analysis"
+	"dinfomap/internal/analysis/all"
+)
+
+// TestRepositoryIsClean runs the full analyzer suite over the module
+// and demands zero findings: every true positive must be fixed and
+// every false positive justified with a //dinfomap:<key> comment, so a
+// regression in either direction fails go test, not just CI's vet job.
+func TestRepositoryIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("typechecks the whole module; skipped in -short mode")
+	}
+	pkgs, err := analysis.Load("../../..", "./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	diags, err := analysis.RunAnalyzers(all.Analyzers(), pkgs)
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+	}
+}

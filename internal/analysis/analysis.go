@@ -1,0 +1,174 @@
+// Package analysis is a minimal, dependency-free reimplementation of
+// the golang.org/x/tools/go/analysis driver model, built on the
+// standard library only (the build environment has no module proxy
+// access, so x/tools itself cannot be vendored).
+//
+// It provides just enough surface for dinfomap's own vet suite: an
+// Analyzer runs over one type-checked package at a time and reports
+// position-tagged diagnostics. Two drivers exist in this package:
+// a standalone one (Main, used by `dinfomap-vet ./...`) that loads
+// packages via `go list -export`, and a `go vet -vettool` protocol
+// driver (RunVet) speaking cmd/go's unitchecker .cfg handshake.
+//
+// Findings can be suppressed with a justification comment placed on
+// the offending line or the line directly above it:
+//
+//	//dinfomap:<key>  <reason...>
+//
+// where <key> is the analyzer's suppression key (e.g. unordered-ok
+// for maporder). The reason text is free-form but should say *why*
+// the flagged construct is safe, not just that it is.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and flags.
+	Name string
+	// Doc is a one-paragraph description of what the analyzer enforces.
+	Doc string
+	// SuppressKey is the comment key that silences a finding at a
+	// specific site, written as //dinfomap:<SuppressKey>. Empty means
+	// the analyzer's findings cannot be suppressed.
+	SuppressKey string
+	// Run performs the check on one package.
+	Run func(*Pass) error
+}
+
+// Pass carries one type-checked package through an Analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// report receives non-suppressed diagnostics.
+	report func(Diagnostic)
+	// suppressed maps "<filename>:<line>" to true for every line that
+	// carries (or is directly above a line that carries) this
+	// analyzer's suppression comment.
+	suppressed map[string]bool
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Reportf records a finding at pos unless the site is suppressed by a
+// //dinfomap:<key> comment or sits in a _test.go file (the suite
+// polices production code; tests may use relaxed idioms).
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if strings.HasSuffix(position.Filename, "_test.go") {
+		return
+	}
+	if p.suppressed[suppressionAt(position)] {
+		return
+	}
+	p.report(Diagnostic{
+		Pos:      position,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+func suppressionAt(pos token.Position) string {
+	return fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+}
+
+// buildSuppressions scans the files' comments for //dinfomap:<key>
+// markers and records the lines they cover: the comment's own line and
+// the line below it (so a marker can sit at the end of the offending
+// line or on its own line directly above).
+func buildSuppressions(fset *token.FileSet, files []*ast.File, key string) map[string]bool {
+	if key == "" {
+		return nil
+	}
+	marker := "dinfomap:" + key
+	sup := make(map[string]bool)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimPrefix(text, "/*")
+				text = strings.TrimSpace(text)
+				if text != marker && !strings.HasPrefix(text, marker+" ") {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				sup[suppressionAt(pos)] = true
+				sup[fmt.Sprintf("%s:%d", pos.Filename, pos.Line+1)] = true
+			}
+		}
+	}
+	return sup
+}
+
+// runAnalyzer applies one analyzer to one loaded package.
+func runAnalyzer(a *Analyzer, pkg *Package, report func(Diagnostic)) error {
+	pass := &Pass{
+		Analyzer:   a,
+		Fset:       pkg.Fset,
+		Files:      pkg.Files,
+		Pkg:        pkg.Types,
+		TypesInfo:  pkg.Info,
+		report:     report,
+		suppressed: buildSuppressions(pkg.Fset, pkg.Files, a.SuppressKey),
+	}
+	return a.Run(pass)
+}
+
+// RunAnalyzers applies every analyzer to every package and returns the
+// combined diagnostics sorted by position.
+func RunAnalyzers(analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		if len(pkg.TypeErrors) > 0 {
+			return nil, fmt.Errorf("%s: type errors: %v", pkg.ImportPath, pkg.TypeErrors[0])
+		}
+		for _, a := range analyzers {
+			if err := runAnalyzer(a, pkg, func(d Diagnostic) {
+				diags = append(diags, d)
+			}); err != nil {
+				return nil, fmt.Errorf("%s: analyzer %s: %w", pkg.ImportPath, a.Name, err)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags, nil
+}
+
+// WalkFiles applies fn to every node of every file in the pass.
+func (p *Pass) WalkFiles(fn func(ast.Node) bool) {
+	for _, f := range p.Files {
+		ast.Inspect(f, fn)
+	}
+}

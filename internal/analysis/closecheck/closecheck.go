@@ -1,0 +1,92 @@
+// Package closecheck flags discarded error returns from Close, Flush,
+// and Encode method calls. For buffered or deferred-write APIs these
+// errors are the only place a short write surfaces: an output file can
+// be silently truncated while the program reports success (the PR 1
+// double-Close bug, generalized). Both plain statements and defers are
+// flagged — `defer f.Close()` on a file opened for reading is harmless
+// and should say so:
+//
+//	//dinfomap:close-ok <why the error cannot matter here>
+package closecheck
+
+import (
+	"go/ast"
+	"go/types"
+
+	"dinfomap/internal/analysis"
+)
+
+// Analyzer is the closecheck check.
+var Analyzer = &analysis.Analyzer{
+	Name:        "closecheck",
+	Doc:         "flags ignored error results of Close/Flush/Encode calls",
+	SuppressKey: "close-ok",
+	Run:         run,
+}
+
+var watched = map[string]bool{"Close": true, "Flush": true, "Encode": true}
+
+func run(pass *analysis.Pass) error {
+	pass.WalkFiles(func(n ast.Node) bool {
+		var call *ast.CallExpr
+		var how string
+		switch st := n.(type) {
+		case *ast.ExprStmt:
+			c, ok := st.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			call, how = c, "ignored"
+		case *ast.DeferStmt:
+			call, how = st.Call, "deferred and ignored"
+		case *ast.GoStmt:
+			call, how = st.Call, "ignored"
+		default:
+			return true
+		}
+		name, ok := watchedErrorMethod(pass, call)
+		if !ok {
+			return true
+		}
+		pass.Reportf(call.Pos(),
+			"error result of %s %s; handle it (or justify with //dinfomap:close-ok)",
+			name, how)
+		return true
+	})
+	return nil
+}
+
+// watchedErrorMethod reports whether call is a method call named
+// Close/Flush/Encode whose last result is an error.
+func watchedErrorMethod(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || !watched[sel.Sel.Name] {
+		return "", false
+	}
+	// Method (or interface method) calls only; package-level functions
+	// that happen to share the name are out of scope.
+	if _, ok := pass.TypesInfo.Selections[sel]; !ok {
+		return "", false
+	}
+	sig, ok := pass.TypesInfo.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return "", false
+	}
+	res := sig.Results()
+	if res.Len() == 0 {
+		return "", false
+	}
+	last := res.At(res.Len() - 1).Type()
+	named, ok := last.(*types.Named)
+	if !ok || named.Obj().Pkg() != nil || named.Obj().Name() != "error" {
+		return "", false
+	}
+	return exprReceiver(sel) + "." + sel.Sel.Name, true
+}
+
+func exprReceiver(sel *ast.SelectorExpr) string {
+	if id, ok := sel.X.(*ast.Ident); ok {
+		return id.Name
+	}
+	return "(...)"
+}

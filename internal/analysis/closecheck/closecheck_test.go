@@ -1,0 +1,12 @@
+package closecheck_test
+
+import (
+	"testing"
+
+	"dinfomap/internal/analysis/analysistest"
+	"dinfomap/internal/analysis/closecheck"
+)
+
+func TestCloseCheck(t *testing.T) {
+	analysistest.Run(t, "testdata", closecheck.Analyzer, "closer")
+}

@@ -1,0 +1,51 @@
+// Testdata for the closecheck analyzer.
+package closer
+
+type file struct{}
+
+func (file) Close() error { return nil }
+
+type enc struct{}
+
+func (enc) Encode(v interface{}) error { return nil }
+
+type sink struct{}
+
+func (sink) Flush() error { return nil }
+
+func ignored() {
+	var f file
+	f.Close()       // want `error result of f.Close ignored`
+	defer f.Close() // want `error result of f.Close deferred and ignored`
+	var e enc
+	e.Encode(1) // want `error result of e.Encode ignored`
+	var s sink
+	s.Flush() // want `error result of s.Flush ignored`
+}
+
+func handled() error {
+	var f file
+	if err := f.Close(); err != nil {
+		return err
+	}
+	// An explicit discard is a visible decision, out of scope here.
+	_ = f.Close()
+	return nil
+}
+
+type quiet struct{}
+
+func (quiet) Close() {}
+
+// Close methods without an error result have nothing to ignore.
+func closeQuiet() {
+	var q quiet
+	q.Close()
+}
+
+// A justified ignore (e.g. a read-only file) is suppressed.
+func justified() {
+	var f file
+	//dinfomap:close-ok read-only handle; close errors cannot lose data
+	f.Close()
+}

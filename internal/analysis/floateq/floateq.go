@@ -1,0 +1,62 @@
+// Package floateq flags == and != between floating-point expressions.
+// MDL and delta-L values are sums of plogp terms whose low bits depend
+// on summation order; comparing them with raw equality makes control
+// flow depend on floating-point noise, which is exactly how two ranks
+// (or two runs) silently diverge. Codelength comparisons must go
+// through mapeq.ApproxEq; genuine sentinel checks (a weight that is
+// exactly the value it was assigned, never computed) may instead carry
+// a justification:
+//
+//	//dinfomap:float-ok <why exact equality is correct here>
+package floateq
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"dinfomap/internal/analysis"
+)
+
+// Analyzer is the floateq check.
+var Analyzer = &analysis.Analyzer{
+	Name:        "floateq",
+	Doc:         "flags ==/!= between floating-point expressions; use mapeq.ApproxEq or justify",
+	SuppressKey: "float-ok",
+	Run:         run,
+}
+
+func run(pass *analysis.Pass) error {
+	pass.WalkFiles(func(n ast.Node) bool {
+		bin, ok := n.(*ast.BinaryExpr)
+		if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+			return true
+		}
+		if !isFloat(pass, bin.X) || !isFloat(pass, bin.Y) {
+			return true
+		}
+		// Two constants compare at arbitrary precision; no runtime noise.
+		if isConst(pass, bin.X) && isConst(pass, bin.Y) {
+			return true
+		}
+		pass.Reportf(bin.OpPos,
+			"floating-point %s comparison; use mapeq.ApproxEq for computed values or justify with //dinfomap:float-ok",
+			bin.Op)
+		return true
+	})
+	return nil
+}
+
+func isFloat(pass *analysis.Pass, e ast.Expr) bool {
+	t := pass.TypesInfo.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func isConst(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	return ok && tv.Value != nil
+}

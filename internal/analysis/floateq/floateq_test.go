@@ -1,0 +1,12 @@
+package floateq_test
+
+import (
+	"testing"
+
+	"dinfomap/internal/analysis/analysistest"
+	"dinfomap/internal/analysis/floateq"
+)
+
+func TestFloatEq(t *testing.T) {
+	analysistest.Run(t, "testdata", floateq.Analyzer, "floats")
+}

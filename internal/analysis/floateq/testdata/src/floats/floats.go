@@ -1,0 +1,56 @@
+// Testdata for the floateq analyzer.
+package floats
+
+func eq(a, b float64) bool {
+	return a == b // want `floating-point == comparison`
+}
+
+func neq(a, b float64) bool {
+	return a != b // want `floating-point != comparison`
+}
+
+func narrow(a, b float32) bool {
+	return a == b // want `floating-point == comparison`
+}
+
+func computedVsLiteral(xs []float64) bool {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s == 0 // want `floating-point == comparison`
+}
+
+// Named types with a float underlying type are still floats.
+type bits float64
+
+func namedFloat(a, b bits) bool {
+	return a == b // want `floating-point == comparison`
+}
+
+const (
+	c1 = 0.1
+	c2 = 0.2
+)
+
+// Two constants compare at arbitrary precision: no runtime noise, not
+// flagged.
+func constConst() bool {
+	return c1+c2 == 0.3
+}
+
+// Integer comparisons are out of scope.
+func ints(a, b int) bool {
+	return a == b
+}
+
+// Ordering comparisons are out of scope.
+func ordered(a, b float64) bool {
+	return a < b || a >= b
+}
+
+// A justified sentinel check is suppressed.
+func sentinel(w float64) bool {
+	//dinfomap:float-ok zero-value sentinel: w is assigned, never computed
+	return w == 0
+}

@@ -1,0 +1,16 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"dinfomap/internal/analysis/analysistest"
+	"dinfomap/internal/analysis/maporder"
+)
+
+func TestMapOrderCriticalPackage(t *testing.T) {
+	analysistest.Run(t, "testdata", maporder.Analyzer, "core")
+}
+
+func TestMapOrderIgnoresOtherPackages(t *testing.T) {
+	analysistest.Run(t, "testdata", maporder.Analyzer, "scratch")
+}

@@ -1,0 +1,85 @@
+// Testdata for the maporder analyzer. The package is named core so the
+// bare-name critical-package match applies.
+package core
+
+import "sort"
+
+// sumFloats accumulates map values in iteration order: the classic
+// nondeterministic float reduction the analyzer exists to catch.
+func sumFloats(m map[int]float64) float64 {
+	var s float64
+	for _, v := range m { // want `range over map m in determinism-critical package core`
+		s += v
+	}
+	return s
+}
+
+// encodeEntries emits key/value pairs in iteration order (modeling the
+// merge.go wire-encoding bug): flagged.
+func encodeEntries(m map[int]int, emit func(k, v int)) {
+	for k, v := range m { // want `range over map m in determinism-critical package core`
+		emit(k, v)
+	}
+}
+
+// sortedKeys is the benign collect-then-sort idiom: not flagged.
+func sortedKeys(m map[int]int) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// slicesSorted uses the slices package sort entry points: not flagged.
+func slicesSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+type bag struct {
+	keys []int
+}
+
+// collectField appends to a struct field that is sorted afterwards: the
+// one-level selector sink is tracked, so this is not flagged.
+func (b *bag) collectField(m map[int]bool) {
+	for k := range m {
+		b.keys = append(b.keys, k)
+	}
+	sort.Ints(b.keys)
+}
+
+// collectNoSort appends but never sorts: the collected order leaks, so
+// the range is flagged.
+func collectNoSort(m map[int]int) []int {
+	var keys []int
+	for k := range m { // want `range over map m in determinism-critical package core`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// justified carries the suppression comment: no diagnostic.
+func justified(m map[int]int) int {
+	total := 0
+	//dinfomap:unordered-ok integer counter sum; addition order cannot change the total
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// rangeSlice iterates a slice, not a map: never flagged.
+func rangeSlice(xs []float64) float64 {
+	var s float64
+	for _, v := range xs {
+		s += v
+	}
+	return s
+}

@@ -1,0 +1,11 @@
+// Package scratch is not determinism-critical: map ranges here are
+// outside the maporder analyzer's scope and must not be flagged.
+package scratch
+
+func SumAny(m map[int]float64) float64 {
+	var s float64
+	for _, v := range m {
+		s += v
+	}
+	return s
+}

@@ -1,0 +1,366 @@
+// Package rankshare enforces the single-writer discipline on the
+// shared runState: during a run, P goroutines (the simulated ranks)
+// execute rankMain concurrently against one runState value, so any
+// field write from per-rank code is a data race unless it follows one
+// of the sanctioned patterns:
+//
+//   - per-rank slot writes, rs.sliceField[rank] = v, where the index
+//     is the rank id (an identifier named "rank"/"r" assigned from
+//     Comm.Rank(), or a direct Comm.Rank() call);
+//   - rank-0-only publication inside an `if rank == 0` guard (exactly
+//     one writer; readers look only after mpi.Run returns — a barrier);
+//   - writes between an explicit mutex Lock/Unlock in the same body.
+//
+// Per-rank code is the set of functions reachable (via a same-package
+// call-graph walk) from a function named rankMain, from any function
+// value passed to mpi.Run, or from any function taking a *mpi.Comm
+// parameter. The analyzer is AST-based and intra-package; an SSA-based
+// v2 (tracking aliasing of runState through locals) is a ROADMAP item.
+//
+// False positives carry a justification:
+//
+//	//dinfomap:rankshare-ok <why this write cannot race>
+package rankshare
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"dinfomap/internal/analysis"
+)
+
+// Analyzer is the rankshare check.
+var Analyzer = &analysis.Analyzer{
+	Name:        "rankshare",
+	Doc:         "flags unguarded writes to shared runState fields from per-rank code",
+	SuppressKey: "rankshare-ok",
+	Run:         run,
+}
+
+// sharedTypeName is the struct whose fields are protected. The check
+// activates only in packages that declare a type with this name.
+const sharedTypeName = "runState"
+
+func run(pass *analysis.Pass) error {
+	shared := findSharedType(pass)
+	if shared == nil {
+		return nil
+	}
+
+	decls := funcDecls(pass)
+	graph := buildCallGraph(pass, decls)
+	perRank := reachable(entryPoints(pass, decls), graph)
+
+	for fn, decl := range decls {
+		if !perRank[fn] || decl.Body == nil {
+			continue
+		}
+		checkBody(pass, shared, decl)
+	}
+	return nil
+}
+
+// findSharedType locates the named struct type called runState in the
+// package being checked.
+func findSharedType(pass *analysis.Pass) types.Type {
+	if pass.Pkg == nil {
+		return nil
+	}
+	obj := pass.Pkg.Scope().Lookup(sharedTypeName)
+	if obj == nil {
+		return nil
+	}
+	tn, ok := obj.(*types.TypeName)
+	if !ok {
+		return nil
+	}
+	if _, ok := tn.Type().Underlying().(*types.Struct); !ok {
+		return nil
+	}
+	return tn.Type()
+}
+
+func funcDecls(pass *analysis.Pass) map[*types.Func]*ast.FuncDecl {
+	decls := make(map[*types.Func]*ast.FuncDecl)
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				decls[fn] = fd
+			}
+		}
+	}
+	return decls
+}
+
+// buildCallGraph records, for each declared function, the same-package
+// functions it mentions (call or function value — a mention is enough,
+// since a passed function may run on the callee's goroutine).
+func buildCallGraph(pass *analysis.Pass, decls map[*types.Func]*ast.FuncDecl) map[*types.Func][]*types.Func {
+	graph := make(map[*types.Func][]*types.Func)
+	for fn, decl := range decls {
+		if decl.Body == nil {
+			continue
+		}
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			callee, ok := pass.TypesInfo.Uses[id].(*types.Func)
+			if !ok {
+				return true
+			}
+			if _, declared := decls[callee]; declared {
+				graph[fn] = append(graph[fn], callee)
+			}
+			return true
+		})
+	}
+	return graph
+}
+
+// entryPoints returns the roots of per-rank execution: rankMain by
+// name, functions handed to mpi.Run, and functions taking a parameter
+// whose type is (a pointer to) a named type called Comm from a package
+// named mpi.
+func entryPoints(pass *analysis.Pass, decls map[*types.Func]*ast.FuncDecl) []*types.Func {
+	var roots []*types.Func
+	for fn, decl := range decls {
+		if fn.Name() == "rankMain" || hasCommParam(fn) {
+			roots = append(roots, fn)
+			continue
+		}
+		_ = decl
+	}
+	// Function values passed to mpi.Run(...) — e.g. mpi.Run(p, runner.rankMain).
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isMpiRun(pass, call.Fun) {
+				return true
+			}
+			for _, arg := range call.Args {
+				var obj types.Object
+				switch a := ast.Unparen(arg).(type) {
+				case *ast.Ident:
+					obj = pass.TypesInfo.Uses[a]
+				case *ast.SelectorExpr:
+					obj = pass.TypesInfo.Uses[a.Sel]
+				}
+				if fn, ok := obj.(*types.Func); ok {
+					if _, declared := decls[fn]; declared {
+						roots = append(roots, fn)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return roots
+}
+
+func hasCommParam(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	params := sig.Params()
+	for i := 0; i < params.Len(); i++ {
+		t := params.At(i).Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		named, ok := t.(*types.Named)
+		if !ok || named.Obj().Name() != "Comm" {
+			continue
+		}
+		if pkg := named.Obj().Pkg(); pkg != nil && pkg.Name() == "mpi" {
+			return true
+		}
+	}
+	return false
+}
+
+func isMpiRun(pass *analysis.Pass, fun ast.Expr) bool {
+	sel, ok := ast.Unparen(fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Run" {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pkgName, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	return ok && pkgName.Imported().Name() == "mpi"
+}
+
+func reachable(roots []*types.Func, graph map[*types.Func][]*types.Func) map[*types.Func]bool {
+	seen := make(map[*types.Func]bool)
+	var walk func(fn *types.Func)
+	walk = func(fn *types.Func) {
+		if seen[fn] {
+			return
+		}
+		seen[fn] = true
+		for _, callee := range graph[fn] {
+			walk(callee)
+		}
+	}
+	for _, r := range roots {
+		walk(r)
+	}
+	return seen
+}
+
+// checkBody flags unguarded shared-field writes inside one per-rank
+// function.
+func checkBody(pass *analysis.Pass, shared types.Type, decl *ast.FuncDecl) {
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		var lhss []ast.Expr
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			lhss = st.Lhs
+		case *ast.IncDecStmt:
+			lhss = []ast.Expr{st.X}
+		default:
+			return true
+		}
+		for _, lhs := range lhss {
+			target, idx := sharedWriteTarget(pass, shared, lhs)
+			if target == nil {
+				continue
+			}
+			if idx != nil && rankIndex(pass, idx) {
+				continue // rs.perRank[rank] = ... : the rank's own slot
+			}
+			if guarded(pass, decl.Body, n.Pos()) {
+				continue
+			}
+			what := "field"
+			if idx != nil {
+				what = "element"
+			}
+			pass.Reportf(lhs.Pos(),
+				"write to shared %s %s %s from per-rank code outside a rank==0 guard or mutex; "+
+					"use a per-rank slot indexed by rank or justify with //dinfomap:rankshare-ok",
+				sharedTypeName, what, exprString(lhs))
+		}
+		return true
+	})
+}
+
+// sharedWriteTarget reports whether lhs writes through a runState
+// value: rs.f, rs.f.g, rs.f[i], rs.f[i].g, ... It returns the root
+// selector and, when the write lands in a slice/map element, the
+// index expression.
+func sharedWriteTarget(pass *analysis.Pass, shared types.Type, lhs ast.Expr) (root ast.Expr, index ast.Expr) {
+	e := lhs
+	for {
+		switch x := e.(type) {
+		case *ast.SelectorExpr:
+			if isSharedValue(pass, shared, x.X) {
+				return x, index
+			}
+			e = x.X
+		case *ast.IndexExpr:
+			if isSharedValue(pass, shared, x.X) {
+				// Writing rs.someSlice[i] hits x.X = rs.someSlice below;
+				// a bare rs[i] cannot occur (runState is a struct).
+				return nil, nil
+			}
+			index = x.Index
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil, nil
+		}
+	}
+}
+
+// isSharedValue reports whether e's type is runState or *runState.
+func isSharedValue(pass *analysis.Pass, shared types.Type, e ast.Expr) bool {
+	t := pass.TypesInfo.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	return types.Identical(t, shared)
+}
+
+// rankIndex reports whether idx is the local rank id: an identifier
+// named rank (or r), or a call to a method named Rank.
+func rankIndex(pass *analysis.Pass, idx ast.Expr) bool {
+	switch x := ast.Unparen(idx).(type) {
+	case *ast.Ident:
+		return x.Name == "rank" || x.Name == "r"
+	case *ast.CallExpr:
+		if sel, ok := x.Fun.(*ast.SelectorExpr); ok {
+			return sel.Sel.Name == "Rank"
+		}
+	case *ast.SelectorExpr:
+		return x.Sel.Name == "rank"
+	}
+	return false
+}
+
+// guarded reports whether pos sits inside an `if rank == 0`-style
+// conditional, or lexically after a .Lock() call in the same body.
+func guarded(pass *analysis.Pass, body *ast.BlockStmt, pos token.Pos) bool {
+	locked := false
+	guardedByIf := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := x.Fun.(*ast.SelectorExpr); ok &&
+				sel.Sel.Name == "Lock" && x.End() <= pos {
+				locked = true
+			}
+		case *ast.IfStmt:
+			if x.Body.Pos() <= pos && pos <= x.Body.End() && isRankZeroCond(pass, x.Cond) {
+				guardedByIf = true
+			}
+		}
+		return true
+	})
+	return locked || guardedByIf
+}
+
+// isRankZeroCond matches conditions comparing a rank-like expression
+// with a constant: rank == 0, c.Rank() == 0, 0 == rank, possibly
+// nested in && / ||.
+func isRankZeroCond(pass *analysis.Pass, cond ast.Expr) bool {
+	switch x := ast.Unparen(cond).(type) {
+	case *ast.BinaryExpr:
+		switch x.Op {
+		case token.LAND, token.LOR:
+			return isRankZeroCond(pass, x.X) || isRankZeroCond(pass, x.Y)
+		case token.EQL:
+			return rankIndex(pass, x.X) || rankIndex(pass, x.Y)
+		}
+	}
+	return false
+}
+
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[...]"
+	case *ast.ParenExpr, *ast.StarExpr:
+		return "expression"
+	}
+	return "expression"
+}

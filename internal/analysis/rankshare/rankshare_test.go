@@ -1,0 +1,12 @@
+package rankshare_test
+
+import (
+	"testing"
+
+	"dinfomap/internal/analysis/analysistest"
+	"dinfomap/internal/analysis/rankshare"
+)
+
+func TestRankShare(t *testing.T) {
+	analysistest.Run(t, "testdata", rankshare.Analyzer, "rankstate")
+}

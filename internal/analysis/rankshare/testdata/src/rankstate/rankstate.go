@@ -1,0 +1,59 @@
+// Testdata for the rankshare analyzer. The package declares a runState
+// struct and a rankMain entry point, mirroring internal/core's layout:
+// P goroutines run rankMain concurrently against one shared runState.
+package rankstate
+
+import "sync"
+
+type runState struct {
+	perRank []int
+	out     []int
+	total   int
+	note    string
+	mu      sync.Mutex
+}
+
+func rankMain(rs *runState, rank int) {
+	rs.perRank[rank] = 2 * rank // own slot, indexed by rank: allowed
+	rs.total++                  // want `write to shared runState field rs.total from per-rank code`
+	rs.note = "racy"            // want `write to shared runState field rs.note from per-rank code`
+	if rank == 0 {
+		rs.out = rs.perRank // rank-0 publication: allowed
+	}
+	helper(rs, rank)
+	locked(rs)
+	justified(rs)
+	badIndex(rs, rank+1)
+}
+
+// helper is reachable from rankMain through the call graph, so its
+// writes are checked too.
+func helper(rs *runState, rank int) {
+	rs.total += rank // want `write to shared runState field rs.total from per-rank code`
+}
+
+// locked writes after taking the mutex: allowed.
+func locked(rs *runState) {
+	rs.mu.Lock()
+	rs.total++
+	rs.mu.Unlock()
+}
+
+// justified carries the suppression comment: no diagnostic.
+func justified(rs *runState) {
+	//dinfomap:rankshare-ok monotone flag: every rank stores the same value
+	rs.total = 1
+}
+
+// badIndex writes a slot picked by an arbitrary expression, not the
+// rank id: flagged.
+func badIndex(rs *runState, i int) {
+	rs.perRank[i] = 9 // want `write to shared runState element rs\.perRank\[\.\.\.\] from per-rank code`
+}
+
+// setup is not reachable from any per-rank entry point (it runs before
+// the ranks start), so its writes are not checked.
+func setup(rs *runState, p int) {
+	rs.perRank = make([]int, p)
+	rs.total = 0
+}

@@ -1,0 +1,12 @@
+package seededrand_test
+
+import (
+	"testing"
+
+	"dinfomap/internal/analysis/analysistest"
+	"dinfomap/internal/analysis/seededrand"
+)
+
+func TestSeededRand(t *testing.T) {
+	analysistest.Run(t, "testdata", seededrand.Analyzer, "randuse")
+}

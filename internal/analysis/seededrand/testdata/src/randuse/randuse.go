@@ -1,0 +1,33 @@
+// Testdata for the seededrand analyzer.
+package randuse
+
+import (
+	"math/rand"
+)
+
+func shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { // want `rand.Shuffle uses the global unseeded source`
+		xs[i], xs[j] = xs[j], xs[i]
+	})
+}
+
+func sample() float64 {
+	return rand.Float64() // want `rand.Float64 uses the global unseeded source`
+}
+
+func pick(n int) int {
+	return rand.Intn(n) // want `rand.Intn uses the global unseeded source`
+}
+
+// Constructors build seeded generators: allowed, and so is everything
+// called on the resulting *rand.Rand value.
+func seeded(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Float64()
+}
+
+// A justified use is suppressed.
+func jitter() float64 {
+	//dinfomap:rand-ok demo-only jitter; reproducibility not required here
+	return rand.Float64()
+}

@@ -1,0 +1,14 @@
+package randuse
+
+import (
+	randv2 "math/rand/v2"
+)
+
+func sampleV2() uint64 {
+	return randv2.Uint64() // want `randv2.Uint64 uses the global unseeded source`
+}
+
+func seededV2(seed uint64) uint64 {
+	r := randv2.New(randv2.NewPCG(seed, seed))
+	return r.Uint64()
+}

@@ -1,0 +1,189 @@
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/token"
+	"io"
+	"os"
+	"strings"
+)
+
+// Main is the entry point of a vettool binary. It dispatches between
+// the three invocation shapes cmd/go and humans use:
+//
+//	tool -V=full          (go vet handshake: print a version line)
+//	tool -flags           (go vet handshake: describe supported flags)
+//	tool path/to/unit.cfg (go vet per-package unit: unitchecker protocol)
+//	tool ./...            (standalone: load packages and check them)
+//
+// It does not return.
+func Main(analyzers []*Analyzer) {
+	progname := "dinfomap-vet"
+	args := os.Args[1:]
+
+	// cmd/go probes the tool's identity with -V=full to mix it into the
+	// build cache key. The reply must look like "<name> version <ver>".
+	for _, a := range args {
+		if a == "-V=full" || a == "--V=full" {
+			fmt.Printf("%s version devel buildID=%x\n", progname, executableSum())
+			os.Exit(0)
+		}
+		if a == "-flags" || a == "--flags" {
+			// No analyzer-selection flags: the whole suite always runs.
+			fmt.Println("[]")
+			os.Exit(0)
+		}
+	}
+
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		if err := RunVet(args[0], analyzers, os.Stderr); err != nil {
+			if err == errFindings {
+				os.Exit(2)
+			}
+			fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+
+	fs := flag.NewFlagSet(progname, flag.ExitOnError)
+	jsonOut := fs.Bool("json", false, "emit diagnostics as JSON")
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: %s [-json] package...\n\n", progname)
+		fmt.Fprintf(os.Stderr, "Analyzers:\n")
+		for _, a := range analyzers {
+			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, firstLine(a.Doc))
+		}
+	}
+	_ = fs.Parse(args)
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+		os.Exit(1)
+	}
+	pkgs, err := Load(wd, patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+		os.Exit(1)
+	}
+	diags, err := RunAnalyzers(analyzers, pkgs)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+		os.Exit(1)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(diags)
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(os.Stderr, d)
+		}
+	}
+	if len(diags) > 0 {
+		os.Exit(2)
+	}
+	os.Exit(0)
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+// executableSum hashes the running binary so rebuilt tools get fresh
+// vet cache entries.
+func executableSum() []byte {
+	sum := sha256.New()
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			_, _ = io.Copy(sum, f)
+			_ = f.Close()
+		}
+	}
+	return sum.Sum(nil)[:8]
+}
+
+// vetConfig mirrors the JSON unit description cmd/go hands a vettool
+// for each package (the unitchecker protocol).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// errFindings distinguishes "diagnostics reported" from hard errors.
+var errFindings = fmt.Errorf("findings reported")
+
+// RunVet executes one unitchecker step: read the .cfg unit description,
+// type-check the unit against the export data cmd/go already built,
+// run the analyzers, and print findings to w. Returns errFindings if
+// any diagnostic was emitted.
+func RunVet(cfgPath string, analyzers []*Analyzer, w io.Writer) error {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return err
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return fmt.Errorf("parsing %s: %v", cfgPath, err)
+	}
+
+	// cmd/go always expects the facts output file, even though this
+	// suite exports no cross-package facts.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			return err
+		}
+	}
+	if cfg.VetxOnly {
+		return nil
+	}
+
+	fset := token.NewFileSet()
+	imp := exportImporter(fset, cfg.PackageFile, cfg.ImportMap)
+	pkg, err := checkFiles(fset, cfg.ImportPath, cfg.Dir, cfg.GoFiles, imp)
+	if err != nil {
+		return err
+	}
+	if len(pkg.TypeErrors) > 0 {
+		if cfg.SucceedOnTypecheckFailure {
+			return nil
+		}
+		return fmt.Errorf("typecheck: %v", pkg.TypeErrors[0])
+	}
+
+	diags, err := RunAnalyzers(analyzers, []*Package{pkg})
+	if err != nil {
+		return err
+	}
+	for _, d := range diags {
+		// go vet's plain-text diagnostic shape: file:line:col: message.
+		fmt.Fprintf(w, "%s: %s\n", d.Pos, d.Message)
+	}
+	if len(diags) > 0 {
+		return errFindings
+	}
+	return nil
+}

@@ -138,6 +138,7 @@ func Run(g *graph.Graph, cfg Config) *Result {
 	for u := range res.Communities {
 		res.Communities[u] = u
 	}
+	//dinfomap:float-ok exact emptiness guard: weight is a sum of strictly positive addends
 	if n == 0 || g.TotalWeight() == 0 {
 		res.NumModules = n
 		return res

@@ -40,7 +40,12 @@ func (lv *level) broadcastDelegates(cands []hubCandidate) int {
 		for d.Remaining() > 0 {
 			hc := decodeHubCandidate(d)
 			cur, ok := best[hc.Hub]
+			// The tie-break must use exact bit equality: every rank decodes
+			// the same candidate bytes, so equal means identical, and an
+			// epsilon would merge near-ties differently than the (target,
+			// rank) ordering resolves them.
 			if !ok || hc.DeltaL < cur.DeltaL ||
+				//dinfomap:float-ok deterministic tie-break on bit-identical decoded values
 				(hc.DeltaL == cur.DeltaL && (hc.Target < cur.Target ||
 					(hc.Target == cur.Target && src < proposer[hc.Hub]))) {
 				best[hc.Hub] = hc
@@ -167,9 +172,9 @@ func (lv *level) localHubWeights(h, target, from int) (wTo, wFrom float64) {
 // the phase's swap count.
 func (lv *level) swapGhostComms() (sent int) {
 	encs := make([]*mpi.Encoder, lv.p)
-	for v, subs := range lv.subscribers {
+	for _, v := range lv.subList {
 		gu := ghostUpdate{Vertex: v, Comm: lv.comm[v]}
-		for _, dst := range subs {
+		for _, dst := range lv.subscribers[v] {
 			if encs[dst] == nil {
 				encs[dst] = mpi.NewEncoder(256)
 			}
@@ -229,6 +234,7 @@ func (lv *level) refresh() (numModules int64) {
 				exit += lv.adjW[j]
 			}
 		}
+		//dinfomap:float-ok skip-empty guard: exit is a sum of strictly positive weights, exactly 0 iff none
 		if exit != 0 {
 			get(m).ExitPr += exit * lv.inv2W
 		}
@@ -243,6 +249,13 @@ func (lv *level) refresh() (numModules int64) {
 	// With deduplication one record per module is sent; the NoDedup
 	// ablation sends one record per visible vertex of the module,
 	// reproducing the duplicated-information problem of Figure 3.
+	// Records are encoded in sorted module order so each destination
+	// buffer is byte-identical run to run.
+	partialIDs := make([]int, 0, len(partials))
+	for m := range partials {
+		partialIDs = append(partialIDs, m)
+	}
+	sort.Ints(partialIDs)
 	encs := make([]*mpi.Encoder, lv.p)
 	enc := func(dst int, rec modulePartial) {
 		if encs[dst] == nil {
@@ -255,7 +268,7 @@ func (lv *level) refresh() (numModules int64) {
 		for _, x := range lv.visList {
 			counts[lv.comm[x]]++
 		}
-		for m, p := range partials {
+		for _, m := range partialIDs {
 			dst := ownerOf(m, lv.p)
 			n := counts[m]
 			if n < 1 {
@@ -263,14 +276,14 @@ func (lv *level) refresh() (numModules int64) {
 			}
 			// First copy carries the stats; duplicates carry zeros but
 			// still cost wire bytes, as the naive scheme would.
-			enc(dst, *p)
+			enc(dst, *partials[m])
 			for i := 1; i < n; i++ {
 				enc(dst, modulePartial{ModID: m})
 			}
 		}
 	} else {
-		for m, p := range partials {
-			enc(dst(m, lv.p), *p)
+		for _, m := range partialIDs {
+			enc(dst(m, lv.p), *partials[m])
 		}
 	}
 	bufs := make([][]byte, lv.p)
@@ -309,7 +322,16 @@ func (lv *level) refresh() (numModules int64) {
 	// and reappears must NOT restart at an old version number, or a
 	// subscriber whose sentVersion matches the recycled number would
 	// keep stale statistics after an isSent short-form response.
-	for m, om := range owned {
+	// Owned modules are walked in sorted id order: the version bumps
+	// are order-independent, but round 2 below reuses the slice to
+	// encode its replies deterministically.
+	ownedIDs := make([]int, 0, len(owned))
+	for m := range owned {
+		ownedIDs = append(ownedIDs, m)
+	}
+	sort.Ints(ownedIDs)
+	for _, m := range ownedIDs {
+		om := owned[m]
 		if prev, ok := lv.ownedStats[m]; !ok || prev != om.mod {
 			lv.modVersion[m]++
 		}
@@ -320,6 +342,7 @@ func (lv *level) refresh() (numModules int64) {
 	if lv.ownedStats == nil {
 		lv.ownedStats = make(map[int]mapeq.Module)
 	}
+	//dinfomap:unordered-ok independent delete + monotone version bump per key; no cross-key state
 	for m := range lv.ownedStats {
 		if _, ok := owned[m]; !ok {
 			delete(lv.ownedStats, m)
@@ -330,7 +353,8 @@ func (lv *level) refresh() (numModules int64) {
 
 	// ---- Round 2: authoritative stats back to subscribers ----
 	encs = make([]*mpi.Encoder, lv.p)
-	for m, om := range owned {
+	for _, m := range ownedIDs {
+		om := owned[m]
 		lv.ownedStats[m] = om.mod
 		for _, dstRank := range om.subs {
 			if encs[dstRank] == nil {
@@ -394,11 +418,8 @@ func (lv *level) refresh() (numModules int64) {
 	// ---- Global aggregates and module count (MDL Allreduce) ----
 	// Summation in sorted module order keeps the partial — and with the
 	// fixed-order Allreduce the global aggregates — bit-reproducible.
-	ownedIDs := make([]int, 0, len(lv.ownedStats))
-	for m := range lv.ownedStats {
-		ownedIDs = append(ownedIDs, m)
-	}
-	sort.Ints(ownedIDs)
+	// ownedIDs (sorted above) is exactly lv.ownedStats' key set: round 2
+	// stored every owned module and the cleanup loop deleted the rest.
 	var part [4]float64
 	for _, m := range ownedIDs {
 		mod := lv.ownedStats[m]

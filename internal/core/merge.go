@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sort"
+
 	"dinfomap/internal/mpi"
 )
 
@@ -22,8 +24,20 @@ func (lv *level) mergeShuffle() []mergedArc {
 			acc[key{cu, cv}] += lv.adjW[j]
 		}
 	}
+	// Encode in sorted (u, v) order so the shuffle payload is
+	// byte-identical run to run; map iteration order would scramble it.
+	keys := make([]key, 0, len(acc))
+	for k := range acc {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a].u != keys[b].u {
+			return keys[a].u < keys[b].u
+		}
+		return keys[a].v < keys[b].v
+	})
 	encs := make([]*mpi.Encoder, lv.p)
-	for k, w := range acc {
+	for _, k := range keys {
 		dstRank := ownerOf(k.u, lv.p)
 		if encs[dstRank] == nil {
 			encs[dstRank] = mpi.NewEncoder(1024)
@@ -31,16 +45,22 @@ func (lv *level) mergeShuffle() []mergedArc {
 		e := encs[dstRank]
 		e.PutInt(k.u)
 		e.PutInt(k.v)
-		e.PutF64(w)
+		e.PutF64(acc[k])
 	}
 	// Isolated owned vertices have no arcs but must survive as vertices
 	// of the merged graph; ship a zero-weight marker to their community
-	// owner so the community remains live.
+	// owner so the community remains live. Marker communities are
+	// processed in sorted order for the same reproducibility reason.
 	markers := make(map[int]bool)
 	for _, u := range lv.ownedActive {
 		markers[lv.comm[u]] = true
 	}
+	markerIDs := make([]int, 0, len(markers))
 	for cu := range markers {
+		markerIDs = append(markerIDs, cu)
+	}
+	sort.Ints(markerIDs)
+	for _, cu := range markerIDs {
 		if _, ok := acc[key{cu, cu}]; ok {
 			continue
 		}

@@ -258,6 +258,7 @@ func (rs *runState) rankMain(c *mpi.Comm) {
 	// rank-identical outputs).
 	rs.perRankPhase[rank] = costs1
 	var stage2Total trace.RankCost
+	//dinfomap:unordered-ok integer counter sums; addition order cannot change the totals
 	for _, c := range costs2 {
 		stage2Total.Ops += c.Ops
 		stage2Total.Msgs += c.Msgs

@@ -56,6 +56,7 @@ func BuildReport(g *graph.Graph, cfg Config, res *Result) *obs.Report {
 		MaxRankBytes:     res.MaxRankBytes,
 		DeltaEvaluations: res.DeltaEvaluations,
 	}
+	//dinfomap:unordered-ok map-to-map copy; encoding/json sorts report map keys on output
 	for ph, d := range res.PhaseModeled {
 		rep.Timing.PhaseModeledNs[ph] = d.Nanoseconds()
 	}
@@ -64,6 +65,7 @@ func BuildReport(g *graph.Graph, cfg Config, res *Result) *obs.Report {
 			Rank:   r,
 			Phases: make(map[string]obs.PhaseCost, len(res.PerRankPhase[r])),
 		}
+		//dinfomap:unordered-ok map-to-map copy; encoding/json sorts report map keys on output
 		for ph, c := range res.PerRankPhase[r] {
 			rr.Phases[ph] = phaseCost(c)
 		}

@@ -42,6 +42,9 @@ type level struct {
 	ghosts []int
 	// subscribers maps an owned vertex to the ranks ghosting it.
 	subscribers map[int][]int
+	// subList caches the subscribed vertex ids, sorted, so the per-sweep
+	// ghost-update encode walks subscribers in a deterministic order.
+	subList []int
 
 	// Flow quantities, indexed by vertex id; only visible entries are
 	// read. vertexTerm is the constant original-graph term of Eq. 3.
@@ -135,7 +138,7 @@ func (lv *level) initLocalState() {
 		lv.comm[v] = v
 	}
 	lv.mods = make(map[int]mapeq.Module, len(vis))
-	for v := range vis {
+	for _, v := range lv.visList {
 		lv.mods[v] = mapeq.Module{SumPr: lv.visit[v], ExitPr: lv.exitP[v], Members: 1}
 	}
 	lv.modVersion = make(map[int]int)
@@ -144,14 +147,14 @@ func (lv *level) initLocalState() {
 		lv.sentVersion[r] = make(map[int]int)
 	}
 
-	// Ghosts: visible, not owned, not a hub.
+	// Ghosts: visible, not owned, not a hub. visList is sorted, so the
+	// ghost list comes out sorted too.
 	lv.ghosts = lv.ghosts[:0]
-	for v := range vis {
+	for _, v := range lv.visList {
 		if ownerOf(v, lv.p) != lv.rank && (lv.isHub == nil || !lv.isHub[v]) {
 			lv.ghosts = append(lv.ghosts, v)
 		}
 	}
-	sort.Ints(lv.ghosts)
 
 	// Ghost registration: tell each ghost's owner that this rank needs
 	// updates for it. This is part of preprocessing in the paper.
@@ -178,6 +181,11 @@ func (lv *level) initLocalState() {
 			lv.subscribers[v] = append(lv.subscribers[v], src)
 		}
 	}
+	lv.subList = make([]int, 0, len(lv.subscribers))
+	for v := range lv.subscribers {
+		lv.subList = append(lv.subList, v)
+	}
+	sort.Ints(lv.subList)
 }
 
 // newStage1Level builds the delegate-partitioned level from the global
@@ -272,14 +280,25 @@ func newMergedLevel(c *mpi.Comm, cfg *Config, idSpace int, arcs []mergedArc,
 	}
 
 	// Accumulate parallel arcs: (u, v) pairs may arrive from several
-	// source ranks.
+	// source ranks. All downstream walks go through the sorted key
+	// slice so neighbor order is deterministic from the start.
 	type key struct{ u, v int }
 	acc := make(map[key]float64, len(arcs))
 	for _, a := range arcs {
 		acc[key{a.U, a.V}] += a.W
 	}
-	counts := make(map[int]int)
+	keys := make([]key, 0, len(acc))
 	for k := range acc {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a].u != keys[b].u {
+			return keys[a].u < keys[b].u
+		}
+		return keys[a].v < keys[b].v
+	})
+	counts := make(map[int]int)
+	for _, k := range keys {
 		counts[k.u]++
 	}
 	lv.evalVerts = make([]int, 0, len(counts))
@@ -298,16 +317,11 @@ func newMergedLevel(c *mpi.Comm, cfg *Config, idSpace int, arcs []mergedArc,
 	lv.adjW = make([]float64, len(acc))
 	cursor := make([]int, len(lv.evalVerts))
 	copy(cursor, lv.evalOff[:len(lv.evalVerts)])
-	for k, w := range acc {
+	for _, k := range keys {
 		i := index[k.u]
 		lv.adjV[cursor[i]] = k.v
-		lv.adjW[cursor[i]] = w
+		lv.adjW[cursor[i]] = acc[k]
 		cursor[i]++
-	}
-	// Deterministic neighbor order (map iteration scrambles it).
-	for i := range lv.evalVerts {
-		lo, hi := lv.evalOff[i], lv.evalOff[i+1]
-		sortAdjPair(lv.adjV[lo:hi], lv.adjW[lo:hi])
 	}
 	lv.ownedActive = append(lv.ownedActive, lv.evalVerts...)
 
@@ -354,6 +368,7 @@ func newMergedLevel(c *mpi.Comm, cfg *Config, idSpace int, arcs []mergedArc,
 	if totalStrength > 0 {
 		lv.inv2W = 1 / totalStrength
 	}
+	//dinfomap:unordered-ok independent writes to distinct array slots; no cross-entry state
 	for u, fr := range all {
 		lv.visit[u] = fr.strength * lv.inv2W
 		lv.exitP[u] = (fr.strength - 2*fr.selfW) * lv.inv2W
@@ -361,20 +376,4 @@ func newMergedLevel(c *mpi.Comm, cfg *Config, idSpace int, arcs []mergedArc,
 
 	lv.initLocalState()
 	return lv
-}
-
-func sortAdjPair(v []int, w []float64) {
-	idx := make([]int, len(v))
-	for i := range idx {
-		idx[i] = i
-	}
-	sort.Slice(idx, func(a, b int) bool { return v[idx[a]] < v[idx[b]] })
-	nv := make([]int, len(v))
-	nw := make([]float64, len(w))
-	for i, j := range idx {
-		nv[i] = v[j]
-		nw[i] = w[j]
-	}
-	copy(v, nv)
-	copy(w, nw)
 }

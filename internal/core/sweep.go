@@ -118,6 +118,7 @@ func (lv *level) bestTarget(s *sweepScratch, i, u int) (target int, delta float6
 			continue
 		}
 		cv := lv.comm[v]
+		//dinfomap:float-ok untouched-slot sentinel: cleared to exact 0 by clearWTo, only positive weights added
 		if s.wTo[cv] == 0 {
 			s.touched = append(s.touched, cv)
 			s.remote[cv] = false

@@ -112,6 +112,7 @@ func (g *Graph) Validate() error {
 			found := false
 			for j := g.inOff[v]; j < g.inOff[v+1]; j++ {
 				if g.inV[j] == u {
+					//dinfomap:float-ok invariant check: the reverse view stores a bit-identical copy of the forward weight
 					if g.inW[j] != g.outW[i] {
 						return fmt.Errorf("digraph: arc (%d,%d) weight mismatch in reverse view", u, v)
 					}

@@ -83,6 +83,7 @@ func Run(g *digraph.Graph, cfg Config) *Result {
 	for u := range res.Communities {
 		res.Communities[u] = u
 	}
+	//dinfomap:float-ok exact emptiness guard: weight is a sum of strictly positive addends
 	if n == 0 || g.TotalWeight() == 0 {
 		res.NumModules = n
 		return res
@@ -151,6 +152,7 @@ func optimizeNetwork(nw *network, vertexTerm float64, rng *gen.RNG, maxSweeps in
 			// Flows between u and each neighbor module.
 			for _, l := range nw.out[u] {
 				c := comm[l.to]
+				//dinfomap:float-ok untouched-slot sentinel: cleared to exact 0, only positive flows added
 				if outTo[c] == 0 && inFrom[c] == 0 {
 					touched = append(touched, c)
 				}
@@ -158,6 +160,7 @@ func optimizeNetwork(nw *network, vertexTerm float64, rng *gen.RNG, maxSweeps in
 			}
 			for _, l := range nw.in[u] {
 				c := comm[l.to]
+				//dinfomap:float-ok untouched-slot sentinel: cleared to exact 0, only positive flows added
 				if outTo[c] == 0 && inFrom[c] == 0 {
 					touched = append(touched, c)
 				}

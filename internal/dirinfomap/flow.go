@@ -47,6 +47,7 @@ func NewFlow(g *digraph.Graph, tau float64) *Flow {
 	}
 	n := g.NumVertices()
 	f := &Flow{Tau: tau, P: make([]float64, n)}
+	//dinfomap:float-ok exact emptiness guard: weight is a sum of strictly positive addends
 	if n == 0 || g.TotalWeight() == 0 {
 		return f
 	}
@@ -62,6 +63,7 @@ func NewFlow(g *digraph.Graph, tau float64) *Flow {
 	for iter := 0; iter < 1000; iter++ {
 		dangling := 0.0
 		for u := 0; u < n; u++ {
+			//dinfomap:float-ok dangling test: out-strength sums strictly positive weights, exactly 0 iff no out-arcs
 			if outStrength[u] == 0 {
 				dangling += p[u]
 			}
@@ -71,6 +73,7 @@ func NewFlow(g *digraph.Graph, tau float64) *Flow {
 			next[u] = base
 		}
 		for u := 0; u < n; u++ {
+			//dinfomap:float-ok dangling test: out-strength sums strictly positive weights, exactly 0 iff no out-arcs
 			if outStrength[u] == 0 {
 				continue
 			}

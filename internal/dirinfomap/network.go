@@ -45,6 +45,7 @@ func newLevel0(g *digraph.Graph, f *Flow) *network {
 	for u := 0; u < n; u++ {
 		nw.members[u] = 1
 		s := g.OutStrength(u)
+		//dinfomap:float-ok dangling test: out-strength sums strictly positive weights, exactly 0 iff no out-arcs
 		if s == 0 {
 			// Dangling: the whole (1-tau) share also teleports.
 			nw.tele[u] = f.P[u]

@@ -8,6 +8,7 @@ import (
 	"dinfomap/internal/gen"
 	"dinfomap/internal/graph"
 	"dinfomap/internal/infomap"
+	"dinfomap/internal/mapeq"
 	"dinfomap/internal/metrics"
 )
 
@@ -93,7 +94,10 @@ func RunFig4(o Options, p int, datasets []string) ([]ConvergenceResult, error) {
 			SeqFinal:    seq.Codelength,
 			DistFinal:   dist.Codelength,
 		}
-		if seq.Codelength != 0 {
+		// Guard the relative gap against (near-)zero sequential
+		// codelengths: dividing by rounding noise would report a huge
+		// bogus gap for degenerate graphs.
+		if !mapeq.ApproxEq(seq.Codelength, 0, 1e-12) {
 			r.RelGap = (dist.Codelength - seq.Codelength) / seq.Codelength
 		}
 		out = append(out, r)

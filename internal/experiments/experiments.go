@@ -37,6 +37,7 @@ func loadDataset(name string, o Options) (*graph.Graph, []int, error) {
 	if err != nil {
 		return nil, nil, err
 	}
+	//dinfomap:float-ok option sentinel: 1 is the literal "no scaling" default set by withDefaults
 	if o.Scale != 1 {
 		d.N = scaleInt(d.N, o.Scale)
 		d.RMATEdges = scaleInt(d.RMATEdges, o.Scale)

@@ -60,6 +60,7 @@ func (d Dataset) generate() (g *graph.Graph, truth []int) {
 	switch d.Kind {
 	case "planted":
 		skew := d.SizeSkew
+		//dinfomap:float-ok zero-value sentinel: unset config field selects the default
 		if skew == 0 {
 			skew = 0.3
 		}

@@ -69,6 +69,7 @@ func (r *RNG) Geometric(p float64) int {
 		return math.MaxInt32
 	}
 	u := r.Float64()
+	//dinfomap:float-ok Float64 can return exactly 0, which log() must not see
 	if u == 0 {
 		u = 0.5
 	}

@@ -79,6 +79,7 @@ func Run(g *graph.Graph, cfg Config) *Result {
 	for u := range res.Communities {
 		res.Communities[u] = u
 	}
+	//dinfomap:float-ok exact emptiness guard: weight is a sum of strictly positive addends
 	if n0 == 0 || g.TotalWeight() == 0 {
 		res.NumModules = n0
 		return res
@@ -199,6 +200,7 @@ func propagate(g *graph.Graph, cfg Config, salt uint64) ([]int, time.Duration) {
 				}
 				bestC, bestW := comm[u], wTo[comm[u]]
 				for cc, w := range wTo {
+					//dinfomap:float-ok order-independent argmax: equal weights resolved by smallest community id
 					if w > bestW || (w == bestW && cc < bestC) {
 						bestC, bestW = cc, w
 					}

@@ -168,6 +168,7 @@ func (g *Graph) Validate() error {
 			if w <= 0 || math.IsNaN(w) || math.IsInf(w, 0) {
 				return fmt.Errorf("arc (%d,%d) has invalid weight %v", u, v, w)
 			}
+			//dinfomap:float-ok invariant check: the mirrored arc stores a bit-identical copy of the weight
 			if rw := g.EdgeWeight(v, u); rw != w {
 				return fmt.Errorf("asymmetric arc (%d,%d): %v vs %v", u, v, w, rw)
 			}
@@ -221,6 +222,7 @@ func (b *Builder) AddWeightedEdge(u, v int, w float64) {
 	if v >= b.n {
 		b.n = v + 1
 	}
+	//dinfomap:float-ok representation probe: only the literal 1 permits the weightless encoding
 	if w != 1 {
 		b.unitW = false
 	}
@@ -312,6 +314,7 @@ func (b *Builder) Build() *Graph {
 
 func allUnit(ws []float64) bool {
 	for _, w := range ws {
+		//dinfomap:float-ok representation probe: only the literal 1 permits the weightless encoding
 		if w != 1 {
 			return false
 		}

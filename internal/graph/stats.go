@@ -152,6 +152,7 @@ func PowerLawExponentMLE(g *Graph, dmin int) float64 {
 			sum += math.Log(float64(d) / (float64(dmin) - 0.5))
 		}
 	}
+	//dinfomap:float-ok degenerate guard: every addend of sum is > 0 (d >= dmin > dmin-0.5), so 0 iff empty
 	if n < 2 || sum == 0 {
 		return math.NaN()
 	}

@@ -79,6 +79,7 @@ func Run(g *graph.Graph, cfg Config) *Result {
 	for u := range res.Communities {
 		res.Communities[u] = u
 	}
+	//dinfomap:float-ok exact emptiness guard: weight is a sum of strictly positive addends
 	if n0 == 0 || g.TotalWeight() == 0 {
 		res.NumModules = n0
 		return res
@@ -174,6 +175,7 @@ func optimizeLevel(g *graph.Graph, rng *gen.RNG, maxSweeps int, vertexTerm float
 					return
 				}
 				c := comm[v]
+				//dinfomap:float-ok untouched-slot sentinel: cleared to exact 0, only positive weights added
 				if wTo[c] == 0 {
 					touched = append(touched, c)
 				}

@@ -1,0 +1,68 @@
+package mapeq
+
+import (
+	"math"
+	"testing"
+)
+
+func TestApproxEq(t *testing.T) {
+	nan := math.NaN()
+	inf := math.Inf(1)
+	sub := math.SmallestNonzeroFloat64 // subnormal
+	tests := []struct {
+		name string
+		a, b float64
+		eps  float64
+		want bool
+	}{
+		{"exact", 1.5, 1.5, 0, true},
+		{"exact zero eps zero", 0, 0, 0, true},
+		{"within relative", 1.0, 1.0 + 1e-12, 1e-9, true},
+		{"outside relative", 1.0, 1.0 + 1e-6, 1e-9, false},
+		{"relative scales with magnitude", 1e12, 1e12 + 1, 1e-9, true},
+		{"absolute floor near zero", 1e-15, -1e-15, 1e-12, true},
+		{"sign flip outside eps", 0.1, -0.1, 1e-9, false},
+
+		// NaN never equals anything, including itself.
+		{"nan left", nan, 1, 1e-9, false},
+		{"nan right", 1, nan, 1e-9, false},
+		{"nan both", nan, nan, 1e-9, false},
+		{"nan vs zero eps zero", nan, 0, 0, false},
+
+		// Signed zeros are numerically equal.
+		{"pos zero neg zero", 0.0, math.Copysign(0, -1), 0, true},
+		{"neg zero pos zero", math.Copysign(0, -1), 0.0, 0, true},
+
+		// Subnormals: exact match, and tiny gaps are absorbed by the
+		// absolute floor but not by a pure relative test.
+		{"subnormal exact", sub, sub, 0, true},
+		{"subnormal vs zero", sub, 0, 1e-300, true},
+		{"subnormal vs zero eps zero", sub, 0, 0, false},
+		{"subnormal gap", 3 * sub, 5 * sub, 1e-12, true},
+
+		// Infinities: equal only with matching sign.
+		{"inf inf", inf, inf, 0, true},
+		{"inf -inf", inf, -inf, 1e-9, false},
+		{"inf finite", inf, 1e308, 1e-9, false},
+	}
+	for _, tt := range tests {
+		if got := ApproxEq(tt.a, tt.b, tt.eps); got != tt.want {
+			t.Errorf("%s: ApproxEq(%v, %v, %v) = %v, want %v",
+				tt.name, tt.a, tt.b, tt.eps, got, tt.want)
+		}
+	}
+}
+
+func TestApproxEqSymmetric(t *testing.T) {
+	pairs := [][2]float64{
+		{1, 1 + 1e-12}, {0, 1e-15}, {-2.5, -2.5000001},
+		{math.SmallestNonzeroFloat64, 0}, {1e12, 1e12 + 1},
+	}
+	for _, p := range pairs {
+		for _, eps := range []float64{0, 1e-15, 1e-9, 1e-3} {
+			if ApproxEq(p[0], p[1], eps) != ApproxEq(p[1], p[0], eps) {
+				t.Errorf("ApproxEq not symmetric for (%v, %v, eps=%v)", p[0], p[1], eps)
+			}
+		}
+	}
+}

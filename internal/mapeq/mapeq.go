@@ -17,6 +17,37 @@ import (
 	"dinfomap/internal/graph"
 )
 
+// ApproxEq reports whether a and b are equal within eps, the tolerance
+// all non-test MDL/codelength comparisons must use instead of == / !=
+// (raw float equality on order-dependent sums makes control flow depend
+// on rounding noise; the floateq analyzer enforces this).
+//
+// The check is exact equality (covering ±0 and same-signed infinities),
+// then an absolute tolerance |a-b| <= eps (so values straddling zero —
+// including subnormals — compare equal under a sensible eps), then a
+// relative tolerance |a-b| <= eps*max(|a|, |b|) for large magnitudes.
+// NaN compares unequal to everything, itself included. eps must be
+// non-negative; eps = 0 degenerates to exact equality.
+func ApproxEq(a, b, eps float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	//dinfomap:float-ok this is the epsilon helper itself; the exact path handles ±0 and infinities
+	if a == b {
+		return true
+	}
+	// Unequal infinities (or infinite vs finite) must not slip through
+	// the relative test below, where eps*Inf == Inf would absorb them.
+	if math.IsInf(a, 0) || math.IsInf(b, 0) {
+		return false
+	}
+	d := math.Abs(a - b)
+	if d <= eps {
+		return true
+	}
+	return d <= eps*math.Max(math.Abs(a), math.Abs(b))
+}
+
 // PlogP returns x*log2(x), with the measure-theoretic convention that
 // 0*log(0) = 0. Negative inputs (which can appear as tiny numerical
 // noise when subtracting flows) are clamped to zero.

@@ -39,6 +39,7 @@ func checkSameLength(a, b []int) {
 func NMI(a, b []int) float64 {
 	checkSameLength(a, b)
 	n := float64(len(a))
+	//dinfomap:float-ok integer-valued: n is an exact float64 conversion of a small length
 	if n == 0 {
 		return 1
 	}
@@ -52,9 +53,11 @@ func NMI(a, b []int) float64 {
 	}
 	ha := entropy(sa, n)
 	hb := entropy(sb, n)
+	//dinfomap:float-ok entropy is a sum of strictly positive terms, exactly 0 iff one cluster
 	if ha == 0 && hb == 0 {
 		return 1
 	}
+	//dinfomap:float-ok entropy is a sum of strictly positive terms, exactly 0 iff one cluster
 	if ha == 0 || hb == 0 {
 		return 0
 	}
@@ -106,7 +109,9 @@ func pairCounts(a, b []int) (a11, a10, a01 float64) {
 func FMeasure(a, b []int) float64 {
 	checkSameLength(a, b)
 	a11, a10, a01 := pairCounts(a, b)
+	//dinfomap:float-ok integer-valued pair counts, exact below 2^53
 	if a11 == 0 {
+		//dinfomap:float-ok integer-valued pair counts, exact below 2^53
 		if a10 == 0 && a01 == 0 {
 			return 1 // both partitions are all-singletons: identical
 		}
@@ -123,6 +128,7 @@ func Jaccard(a, b []int) float64 {
 	checkSameLength(a, b)
 	a11, a10, a01 := pairCounts(a, b)
 	den := a11 + a10 + a01
+	//dinfomap:float-ok integer-valued pair counts, exact below 2^53
 	if den == 0 {
 		return 1 // no co-clustered pairs anywhere: identical singletons
 	}
@@ -138,6 +144,7 @@ func Modularity(g *graph.Graph, comm []int) float64 {
 			len(comm), g.NumVertices()))
 	}
 	w2 := 2 * g.TotalWeight()
+	//dinfomap:float-ok exact emptiness guard: weight is a sum of strictly positive addends
 	if w2 == 0 {
 		return 0
 	}

@@ -121,6 +121,7 @@ func (c *Comm) AllreduceMinLoc(val float64) MinLoc {
 	best := MinLoc{Value: val, Rank: c.rank}
 	for r, p := range parts {
 		v := math.Float64frombits(binary.LittleEndian.Uint64(p))
+		//dinfomap:float-ok MINLOC tie-break on bit-identical decoded values; lowest rank wins, like MPI
 		if v < best.Value || (v == best.Value && r < best.Rank) {
 			best = MinLoc{Value: v, Rank: r}
 		}

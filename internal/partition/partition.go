@@ -306,6 +306,7 @@ func (l *Layout) Validate(g *graph.Graph) error {
 				return fmt.Errorf("partition: low-degree arc (%d,%d) on rank %d, owner is %d",
 					a.U, a.V, r, l.Owner[a.U])
 			}
+			//dinfomap:float-ok invariant check: rank arcs store bit-identical copies of graph weights
 			if w := g.EdgeWeight(a.U, a.V); w != a.W {
 				return fmt.Errorf("partition: arc (%d,%d) weight %v, graph has %v", a.U, a.V, a.W, w)
 			}
