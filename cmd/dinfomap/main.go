@@ -15,7 +15,12 @@
 // Observability: -trace writes a Chrome trace-event JSON timeline (one
 // row per rank; open in Perfetto or chrome://tracing), -metrics writes
 // the structured JSON run report, and -cpuprofile / -memprofile /
-// -pprof wire in the standard Go profilers.
+// -pprof wire in the standard Go profilers. The -pprof listener also
+// serves the live run endpoints: /debug/dinfomap/events streams journal
+// events as they happen (Server-Sent Events), /debug/dinfomap/status
+// returns a JSON snapshot of per-rank progress. CPU profiles are
+// labeled per simulated rank; isolate one with
+// go tool pprof -tagfocus rank=3.
 package main
 
 import (
@@ -51,17 +56,24 @@ func main() {
 		metricsPath = flag.String("metrics", "", "write the structured JSON run report to this file")
 		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile  = flag.String("memprofile", "", "write a heap profile to this file")
-		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof and the live /debug/dinfomap/ endpoints on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 
+	// The journal feeds -trace and the live -pprof debug endpoints.
+	var journal *dinfomap.RunJournal
+	if *tracePath != "" || *pprofAddr != "" {
+		journal = dinfomap.NewRunJournal(*p)
+	}
 	if *pprofAddr != "" {
+		dinfomap.RegisterRunDebugHandlers(http.DefaultServeMux, journal)
 		go func() {
 			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
 				fmt.Fprintln(os.Stderr, "dinfomap: pprof listener:", err)
 			}
 		}()
-		fmt.Printf("pprof: http://%s/debug/pprof/\n", *pprofAddr)
+		fmt.Printf("pprof:  http://%s/debug/pprof/\n", *pprofAddr)
+		fmt.Printf("live:   http://%s/debug/dinfomap/events (SSE), .../status (JSON)\n", *pprofAddr)
 	}
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -85,10 +97,7 @@ func main() {
 	}
 	fmt.Printf("graph: %d vertices, %d edges\n", g.NumVertices(), g.NumEdges())
 
-	cfg := dinfomap.DistributedConfig{P: *p, DHigh: *dHigh, Seed: *seed}
-	if *tracePath != "" {
-		cfg.Journal = dinfomap.NewRunJournal(*p)
-	}
+	cfg := dinfomap.DistributedConfig{P: *p, DHigh: *dHigh, Seed: *seed, Journal: journal}
 	start := time.Now()
 	res := dinfomap.RunDistributed(g, cfg)
 	wall := time.Since(start)
@@ -107,7 +116,8 @@ func main() {
 		fmt.Println("stage-1 phase breakdown (modeled, max rank):")
 		for _, ph := range []string{
 			trace.PhaseFindBestModule, trace.PhaseBcastDelegates,
-			trace.PhaseSwapBoundary, trace.PhaseOther,
+			trace.PhaseSwapBoundary, trace.PhaseRefreshRound1,
+			trace.PhaseRefreshRound2, trace.PhaseOther,
 		} {
 			fmt.Printf("  %-20s %v\n", ph, res.PhaseModeled[ph].Round(time.Microsecond))
 		}

@@ -19,6 +19,7 @@ package dinfomap
 
 import (
 	"io"
+	"net/http"
 
 	"dinfomap/internal/core"
 	"dinfomap/internal/gen"
@@ -174,6 +175,15 @@ func NewRunJournal(p int) *RunJournal { return obs.NewJournal(p) }
 // (one timeline row per rank), viewable in Perfetto or chrome://tracing.
 func WriteChromeTrace(w io.Writer, j *RunJournal) error {
 	return obs.WriteChromeTrace(w, j)
+}
+
+// RegisterRunDebugHandlers mounts the live observability endpoints for
+// j on mux: an SSE stream of journal events as they are emitted
+// (/debug/dinfomap/events) and a JSON status snapshot
+// (/debug/dinfomap/status). Both are safe to hit while RunDistributed
+// is executing; a slow or stalled consumer never blocks the ranks.
+func RegisterRunDebugHandlers(mux *http.ServeMux, j *RunJournal) {
+	obs.RegisterDebugHandlers(mux, j)
 }
 
 // RunReport is the structured, stable-schema JSON report of one

@@ -5,6 +5,7 @@ package all
 
 import (
 	"dinfomap/internal/analysis"
+	"dinfomap/internal/analysis/anysource"
 	"dinfomap/internal/analysis/closecheck"
 	"dinfomap/internal/analysis/floateq"
 	"dinfomap/internal/analysis/maporder"
@@ -21,5 +22,6 @@ func Analyzers() []*analysis.Analyzer {
 		seededrand.Analyzer,
 		closecheck.Analyzer,
 		rankshare.Analyzer,
+		anysource.Analyzer,
 	}
 }

@@ -1,0 +1,114 @@
+// Package anysource flags wildcard-source message receives outside the
+// mpi runtime itself. Recv(AnySource, ...) matches whichever rank's
+// message happens to be queued first, so the receive order — and any
+// state built from it — depends on the goroutine scheduler. The
+// algorithm's determinism contract (same graph + seed + P ⇒ identical
+// partition) requires every cross-rank exchange to either name its
+// source rank explicitly or go through a collective, which imposes a
+// fixed rank order.
+//
+// Two patterns are reported:
+//
+//   - the AnySource constant passed as an argument of any call (the
+//     wildcard escaping into a receive, directly or via a helper);
+//   - a call to a Comm.Recv method whose source argument is a negative
+//     constant expression (the raw -1 spelling of the wildcard).
+//
+// The mpi package itself is exempt: it declares the constant and its
+// matching logic legitimately compares against it. Test files are
+// exempt suite-wide. A justified wildcard receive carries:
+//
+//	//dinfomap:anysource-ok <why nondeterministic arrival order is safe here>
+package anysource
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+
+	"dinfomap/internal/analysis"
+)
+
+// Analyzer is the anysource check.
+var Analyzer = &analysis.Analyzer{
+	Name:        "anysource",
+	Doc:         "flags Recv(AnySource, ...) wildcard receives; name the source rank explicitly",
+	SuppressKey: "anysource-ok",
+	Run:         run,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg != nil && pass.Pkg.Name() == "mpi" {
+		return nil
+	}
+	pass.WalkFiles(func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		wildcardFirstArg := false
+		for i, arg := range call.Args {
+			if !isAnySourceConst(pass, arg) {
+				continue
+			}
+			if i == 0 {
+				wildcardFirstArg = true
+			}
+			pass.Reportf(arg.Pos(),
+				"AnySource makes message arrival order scheduler-dependent; receive from an explicit source rank")
+		}
+		// The raw -1 spelling, only where it is unambiguously a source:
+		// the first argument of Comm.Recv. Skip when the argument is the
+		// AnySource constant itself — already reported above.
+		if !wildcardFirstArg && isCommRecv(pass, call) && len(call.Args) > 0 {
+			if v := pass.TypesInfo.Types[call.Args[0]].Value; v != nil &&
+				v.Kind() == constant.Int && constant.Sign(v) < 0 {
+				pass.Reportf(call.Args[0].Pos(),
+					"Recv with negative source is a wildcard receive; name the source rank explicitly")
+			}
+		}
+		return true
+	})
+	return nil
+}
+
+// isAnySourceConst reports whether expr names a constant called
+// AnySource (a bare identifier or a pkg.AnySource selector).
+func isAnySourceConst(pass *analysis.Pass, expr ast.Expr) bool {
+	expr = ast.Unparen(expr)
+	var id *ast.Ident
+	switch e := expr.(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return false
+	}
+	obj, ok := pass.TypesInfo.Uses[id].(*types.Const)
+	return ok && obj.Name() == "AnySource"
+}
+
+// isCommRecv reports whether call invokes a method named Recv whose
+// receiver is a named type called Comm (matched by name, not import
+// path, so the check also covers test doubles and future transports).
+func isCommRecv(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Recv" {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	rt := sig.Recv().Type()
+	if p, ok := rt.(*types.Pointer); ok {
+		rt = p.Elem()
+	}
+	named, ok := rt.(*types.Named)
+	return ok && named.Obj().Name() == "Comm"
+}

@@ -1,0 +1,16 @@
+package anysource_test
+
+import (
+	"testing"
+
+	"dinfomap/internal/analysis/analysistest"
+	"dinfomap/internal/analysis/anysource"
+)
+
+func TestAnySource(t *testing.T) {
+	analysistest.Run(t, "testdata", anysource.Analyzer, "commuse")
+}
+
+func TestAnySourceExemptsMpiPackage(t *testing.T) {
+	analysistest.Run(t, "testdata", anysource.Analyzer, "mpi")
+}

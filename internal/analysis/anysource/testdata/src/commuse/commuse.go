@@ -1,0 +1,62 @@
+// Testdata for the anysource analyzer: a self-contained stand-in for
+// the mpi surface (testdata may import only the standard library).
+package commuse
+
+// AnySource matches messages from any rank, mirroring mpi.AnySource.
+const AnySource = -1
+
+// Comm is the stand-in communicator; the analyzer matches the type and
+// method by name.
+type Comm struct{}
+
+// Recv mirrors mpi's (src, tag) receive.
+func (c *Comm) Recv(src, tag int) ([]byte, int) { return nil, src + tag }
+
+// Other is a different receiver type; its Recv is not a message receive.
+type Other struct{}
+
+func (o *Other) Recv(src, tag int) int { return src + tag }
+
+func wildcardByName(c *Comm) {
+	c.Recv(AnySource, 1) // want `AnySource makes message arrival order scheduler-dependent`
+}
+
+func wildcardRaw(c *Comm) {
+	c.Recv(-1, 2) // want `Recv with negative source is a wildcard receive`
+}
+
+func wildcardViaConstAlias(c *Comm) {
+	const wild = -1
+	c.Recv(wild, 3) // want `Recv with negative source is a wildcard receive`
+}
+
+// The wildcard escaping through a helper is caught at the call site.
+func helper(src int, c *Comm) { c.Recv(src, 4) }
+
+func wildcardViaHelper(c *Comm) {
+	helper(AnySource, c) // want `AnySource makes message arrival order scheduler-dependent`
+}
+
+// Explicit source ranks are the sanctioned pattern.
+func explicit(c *Comm, peer int) {
+	c.Recv(peer, 5)
+	c.Recv(0, 6)
+}
+
+// A negative source through a plain variable is not a constant
+// expression; the analyzer does not track data flow.
+func variableSource(c *Comm) {
+	src := -1
+	c.Recv(src, 7)
+}
+
+// Recv on a non-Comm type is not a message receive.
+func otherRecv(o *Other) {
+	o.Recv(-1, 8)
+}
+
+// A justified wildcard receive is suppressed.
+func justified(c *Comm) {
+	//dinfomap:anysource-ok drain loop; every sender's payload is merged commutatively
+	c.Recv(AnySource, 9)
+}

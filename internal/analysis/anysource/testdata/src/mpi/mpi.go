@@ -1,0 +1,22 @@
+// Testdata for the anysource analyzer: a package named mpi is the
+// runtime itself and is exempt — it declares the wildcard and its
+// matching logic uses it freely.
+package mpi
+
+// AnySource matches messages from any rank in Recv.
+const AnySource = -1
+
+// Comm is the communicator stand-in.
+type Comm struct{}
+
+// Recv mirrors the runtime's receive.
+func (c *Comm) Recv(src, tag int) ([]byte, int) { return nil, src + tag }
+
+func matches(src, want int) bool {
+	return want == AnySource || src == want
+}
+
+func drain(c *Comm) {
+	c.Recv(AnySource, 1)
+	_ = matches(0, AnySource)
+}

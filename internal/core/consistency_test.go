@@ -47,17 +47,16 @@ func runStage1WithChecks(t *testing.T, g *graph.Graph, p int, cfg Config) {
 		mu.Lock()
 		visLists[c.Rank()] = lv.visList
 		mu.Unlock()
-		lv.refresh()
-		s := lv.newScratch()
 		costs := make(phaseCosts)
-		_ = costs
+		lv.refresh(costs, -1)
+		s := lv.newScratch()
 		for iter := 0; iter < 12; iter++ {
 			lv.dampP = dampProb(iter)
 			moves, deferred, cands := lv.sweep(s, passBudget(iter))
 			_ = deferred
 			hubMoves := lv.broadcastDelegates(cands)
 			lv.swapGhostComms()
-			lv.refresh()
+			lv.refresh(costs, -1)
 			total := c.AllreduceI64(int64(moves+hubMoves), mpi.OpSum)
 
 			// Publish this rank's state and check on rank 0.

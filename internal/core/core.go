@@ -111,6 +111,10 @@ type Result struct {
 	PerRankPhase []map[string]trace.RankCost
 	// PerRankStage2[r] is rank r's total stage-2 cost.
 	PerRankStage2 []trace.RankCost
+	// PerRankStage2Phase[r] breaks rank r's stage-2 cost into phases
+	// (the Figure-8 phases of the merged-level sweeps plus the
+	// refresh-round and merge-shuffle spans).
+	PerRankStage2Phase []map[string]trace.RankCost
 	// PerRankWall1 / PerRankWall2 are each rank's host wall times per stage.
 	PerRankWall1, PerRankWall2 []time.Duration
 	// PerRankEvals[r] is rank r's delta-L evaluation count.
@@ -170,13 +174,17 @@ func Run(g *graph.Graph, cfg Config) *Result {
 
 	runner := &runState{
 		g: g, cfg: &cfg, layout: layout, flow: flow, res: res,
-		perRankPhase:  make([]phaseCosts, cfg.P),
-		perRankStage2: make([]trace.RankCost, cfg.P),
-		perRankWall1:  make([]time.Duration, cfg.P),
-		perRankWall2:  make([]time.Duration, cfg.P),
-		perRankEvals:  make([]int64, cfg.P),
+		perRankPhase:       make([]phaseCosts, cfg.P),
+		perRankStage2:      make([]trace.RankCost, cfg.P),
+		perRankStage2Phase: make([]phaseCosts, cfg.P),
+		perRankWall1:       make([]time.Duration, cfg.P),
+		perRankWall2:       make([]time.Duration, cfg.P),
+		perRankEvals:       make([]int64, cfg.P),
 	}
 	stats := mpi.Run(cfg.P, runner.rankMain)
+	// End the live stream: subscribers drain their rings and receive
+	// the final status snapshot.
+	cfg.Journal.Finish()
 	res.CommStats = stats
 	for _, s := range stats {
 		if b := s.TotalBytes(); b > res.MaxRankBytes {
@@ -200,11 +208,12 @@ type runState struct {
 	res    *Result
 
 	// Per-rank measurement slots; each rank writes only its own index.
-	perRankPhase  []phaseCosts
-	perRankStage2 []trace.RankCost
-	perRankWall1  []time.Duration
-	perRankWall2  []time.Duration
-	perRankEvals  []int64
+	perRankPhase       []phaseCosts
+	perRankStage2      []trace.RankCost
+	perRankStage2Phase []phaseCosts
+	perRankWall1       []time.Duration
+	perRankWall2       []time.Duration
+	perRankEvals       []int64
 
 	out rankOutput
 }
@@ -242,6 +251,10 @@ func (rs *runState) finish(res *Result) {
 		res.PerRankPhase[r] = rs.perRankPhase[r]
 	}
 	res.PerRankStage2 = rs.perRankStage2
+	res.PerRankStage2Phase = make([]map[string]trace.RankCost, rs.cfg.P)
+	for r := range rs.perRankStage2Phase {
+		res.PerRankStage2Phase[r] = rs.perRankStage2Phase[r]
+	}
 	res.PerRankWall1 = rs.perRankWall1
 	res.PerRankWall2 = rs.perRankWall2
 	res.PerRankEvals = rs.perRankEvals
@@ -266,7 +279,8 @@ func (rs *runState) finish(res *Result) {
 	res.PhaseOps = make(map[string]int64)
 	phases := []string{
 		trace.PhaseFindBestModule, trace.PhaseBcastDelegates,
-		trace.PhaseSwapBoundary, trace.PhaseOther,
+		trace.PhaseSwapBoundary, trace.PhaseRefreshRound1,
+		trace.PhaseRefreshRound2, trace.PhaseOther,
 	}
 	for _, ph := range phases {
 		var worst time.Duration

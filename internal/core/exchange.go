@@ -5,6 +5,8 @@ import (
 
 	"dinfomap/internal/mapeq"
 	"dinfomap/internal/mpi"
+	"dinfomap/internal/obs"
+	"dinfomap/internal/trace"
 )
 
 // broadcastDelegates runs the BroadcastDelegates phase (Algorithm 2,
@@ -205,7 +207,17 @@ func (lv *level) swapGhostComms() (sent int) {
 // modules of its visible vertices, lv.agg holds the exact global
 // aggregates, and the returned count is the global number of non-empty
 // modules.
-func (lv *level) refresh() (numModules int64) {
+//
+// The two Algorithm 3 rounds are journaled and costed as first-class
+// spans (refresh-round1: local partials + shuffle to module homes +
+// owner-side summation; refresh-round2: authoritative replies + local
+// table rebuild + MDL allreduce) instead of folding into Other. iter
+// tags the spans with the synchronized sweep (-1 = setup refresh).
+func (lv *level) refresh(costs phaseCosts, iter int32) (numModules int64) {
+	j1 := lv.jlog.Now()
+	before := lv.c.Stats()
+	lv.timer.Start(trace.PhaseRefreshRound1)
+
 	// ---- Local partials ----
 	partials := make(map[int]*modulePartial)
 	get := func(m int) *modulePartial {
@@ -351,6 +363,20 @@ func (lv *level) refresh() (numModules int64) {
 		}
 	}
 
+	// Round-1 span closes here: partials shuffled and summed at owners.
+	msgs, bytes := commDelta(before, lv.c.Stats())
+	lv.timer.Stop(trace.PhaseRefreshRound1)
+	r1Ops := int64(len(partials))
+	costs.add(trace.PhaseRefreshRound1, trace.RankCost{Ops: r1Ops, Msgs: msgs, Bytes: bytes})
+	lv.jlog.Emit(obs.Event{
+		Stage: lv.jstage, Outer: lv.jouter, Iter: iter,
+		Phase: obs.PhaseRefreshRound1, Start: j1, End: lv.jlog.Now(),
+		Ops: r1Ops, Msgs: msgs, Bytes: bytes,
+	})
+	j2 := lv.jlog.Now()
+	before = lv.c.Stats()
+	lv.timer.Start(trace.PhaseRefreshRound2)
+
 	// ---- Round 2: authoritative stats back to subscribers ----
 	encs = make([]*mpi.Encoder, lv.p)
 	for _, m := range ownedIDs {
@@ -449,6 +475,18 @@ func (lv *level) refresh() (numModules int64) {
 			lv.hubFromStats[h] = lv.mods[lv.comm[h]]
 		}
 	}
+
+	// Round-2 span: authoritative replies delivered, table rebuilt,
+	// aggregates reduced.
+	msgs, bytes = commDelta(before, lv.c.Stats())
+	lv.timer.Stop(trace.PhaseRefreshRound2)
+	r2Ops := int64(len(newMods))
+	costs.add(trace.PhaseRefreshRound2, trace.RankCost{Ops: r2Ops, Msgs: msgs, Bytes: bytes})
+	lv.jlog.Emit(obs.Event{
+		Stage: lv.jstage, Outer: lv.jouter, Iter: iter,
+		Phase: obs.PhaseRefreshRound2, Start: j2, End: lv.jlog.Now(),
+		Ops: r2Ops, Msgs: msgs, Bytes: bytes,
+	})
 	return int64(tot[3])
 }
 

@@ -4,6 +4,8 @@ import (
 	"sort"
 
 	"dinfomap/internal/mpi"
+	"dinfomap/internal/obs"
+	"dinfomap/internal/trace"
 )
 
 // mergeShuffle performs the distributed graph merging of Section 3.5:
@@ -12,7 +14,15 @@ import (
 // vertex, i.e. a plain 1D partitioning of the merged graph (Algorithm 2,
 // line 8). The returned arcs are this rank's portion of the merged
 // level: the full adjacency of every community id it owns.
-func (lv *level) mergeShuffle() []mergedArc {
+//
+// The whole contraction + shuffle is journaled and costed as its own
+// merge-shuffle span, tagged with the level being contracted (stage 1
+// for the first merge, stage 2 / outer k for deeper ones).
+func (lv *level) mergeShuffle(costs phaseCosts) []mergedArc {
+	j0 := lv.jlog.Now()
+	before := lv.c.Stats()
+	lv.timer.Start(trace.PhaseMergeShuffle)
+
 	// Contract local arcs and pre-accumulate per destination pair to
 	// keep the shuffle payload small.
 	type key struct{ u, v int }
@@ -88,6 +98,16 @@ func (lv *level) mergeShuffle() []mergedArc {
 			arcs = append(arcs, mergedArc{U: d.Int(), V: d.Int(), W: d.F64()})
 		}
 	}
+
+	msgs, bytes := commDelta(before, lv.c.Stats())
+	lv.timer.Stop(trace.PhaseMergeShuffle)
+	ops := int64(len(acc))
+	costs.add(trace.PhaseMergeShuffle, trace.RankCost{Ops: ops, Msgs: msgs, Bytes: bytes})
+	lv.jlog.Emit(obs.Event{
+		Stage: lv.jstage, Outer: lv.jouter, Iter: -1,
+		Phase: obs.PhaseMergeShuffle, Start: j0, End: lv.jlog.Now(),
+		Ops: ops, Msgs: msgs, Bytes: bytes,
+	})
 	return arcs
 }
 

@@ -170,6 +170,75 @@ func TestBuildReportFromRealRun(t *testing.T) {
 	}
 }
 
+// TestStageInternalSpansJournaled is the regression lock for the span
+// split: the refresh rounds and the merge shuffle must appear as
+// first-class spans, and with them carved out, the catch-all Other
+// span may no longer dominate the journal's measured wall time.
+func TestStageInternalSpansJournaled(t *testing.T) {
+	const p = 4
+	j, res, cfg := runJournaled(t, p)
+	if res.OuterIterations < 2 {
+		t.Fatalf("need a 2-level run to cover merge-shuffle, got %d outer iterations",
+			res.OuterIterations)
+	}
+
+	var otherWall, totalWall int64
+	for r := 0; r < p; r++ {
+		seen := map[obs.PhaseID]bool{}
+		for _, ev := range j.Rank(r).Events() {
+			seen[ev.Phase] = true
+			totalWall += int64(ev.Dur())
+			if ev.Phase == obs.PhaseOther {
+				otherWall += int64(ev.Dur())
+			}
+			if ev.Phase == obs.PhaseMergeShuffle && ev.Iter != -1 {
+				t.Errorf("rank %d merge-shuffle span has Iter %d, want -1", r, ev.Iter)
+			}
+		}
+		for _, ph := range []obs.PhaseID{
+			obs.PhaseRefreshRound1, obs.PhaseRefreshRound2, obs.PhaseMergeShuffle,
+		} {
+			if !seen[ph] {
+				t.Errorf("rank %d journal missing %s span", r, ph.Name())
+			}
+		}
+	}
+	// Other now covers only the convergence allreduce; with the refresh
+	// rounds and merge shuffle split out it cannot plausibly account for
+	// most of the measured wall time.
+	if totalWall == 0 {
+		t.Fatal("journal measured zero wall time")
+	}
+	if share := float64(otherWall) / float64(totalWall); share > 0.5 {
+		t.Fatalf("Other wall-share %.2f exceeds sanity threshold 0.5", share)
+	}
+
+	// The new spans flow through to the report: stage-2 phase breakdown
+	// and measured per-phase walls.
+	g, _ := planted(7, 400, 8, 0.2)
+	rep := BuildReport(g, cfg, res)
+	if len(rep.Timing.PhaseWallNs) == 0 {
+		t.Fatal("journaled run produced no Timing.PhaseWallNs")
+	}
+	for _, ph := range []string{trace.PhaseRefreshRound1, trace.PhaseRefreshRound2,
+		trace.PhaseMergeShuffle} {
+		if _, ok := rep.Timing.PhaseWallNs[ph]; !ok {
+			t.Errorf("Timing.PhaseWallNs missing %s", ph)
+		}
+	}
+	for r, rr := range rep.Ranks {
+		if _, ok := rr.Stage2Phases[trace.PhaseMergeShuffle]; !ok {
+			t.Errorf("rank %d report missing merge-shuffle in Stage2Phases", r)
+		}
+		if _, ok := rr.Phases[trace.PhaseRefreshRound1]; !ok {
+			t.Errorf("rank %d report missing refresh-round1 in stage-1 Phases", r)
+		}
+		if len(rr.PhaseWallNs) == 0 {
+			t.Errorf("rank %d report missing PhaseWallNs", r)
+		}
+	}
+}
+
 func TestRunWithoutJournalPublishesPerRankCosts(t *testing.T) {
 	g, _ := planted(9, 300, 6, 0.2)
 	res := Run(g, Config{P: 3, Seed: 5})

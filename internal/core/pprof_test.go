@@ -1,0 +1,52 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"runtime/pprof"
+	"testing"
+
+	"dinfomap/internal/obs"
+)
+
+// TestRankBodiesCarryPprofLabels verifies the per-rank profiler labels:
+// every simulated rank's goroutine must run with a rank=<id> pprof
+// label, which is what lets `go tool pprof -tagfocus rank=N` split a
+// CPU profile per rank. The journal tap tells us when the ranks are
+// provably mid-run, at which point the goroutine profile (debug=1
+// prints labels) must show every rank id.
+func TestRankBodiesCarryPprofLabels(t *testing.T) {
+	const p = 4
+	g, _ := planted(7, 2000, 8, 0.2)
+	j := obs.NewJournal(p)
+	tap := j.Subscribe(obs.DefaultTapBuffer)
+	defer j.Unsubscribe(tap)
+
+	done := make(chan *Result, 1)
+	go func() { done <- Run(g, Config{P: p, Seed: 3, Journal: j}) }()
+
+	// First streamed event: at least one rank is inside its body. The
+	// ranks run a synchronized loop, so all p goroutines are alive.
+	if _, ok := <-tap.Events(); !ok {
+		t.Fatal("journal tap closed before any event")
+	}
+	var buf bytes.Buffer
+	if err := pprof.Lookup("goroutine").WriteTo(&buf, 1); err != nil {
+		t.Fatal(err)
+	}
+	profile := buf.String()
+
+	for range tap.Events() { // drain until the journal finishes
+	}
+	res := <-done
+	if res.NumModules < 1 {
+		t.Fatalf("degenerate run: %d modules", res.NumModules)
+	}
+
+	for r := 0; r < p; r++ {
+		want := fmt.Sprintf("%q:%q", "rank", fmt.Sprint(r))
+		if !bytes.Contains([]byte(profile), []byte(want)) {
+			t.Errorf("goroutine profile missing label %s\nprofile:\n%s", want, profile)
+		}
+	}
+}

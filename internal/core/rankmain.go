@@ -1,6 +1,9 @@
 package core
 
 import (
+	"context"
+	"runtime/pprof"
+	"strconv"
 	"time"
 
 	"dinfomap/internal/mapeq"
@@ -43,15 +46,8 @@ func (lv *level) cluster(costs phaseCosts) clusterOutcome {
 	out.liveBefore = lv.c.AllreduceI64(int64(len(lv.ownedActive)), mpi.OpSum)
 
 	// Iteration-0 refresh: exact singleton aggregates everywhere.
-	j0 := lv.jlog.Now()
-	before := lv.c.Stats()
-	out.numModules = lv.refresh()
-	msgs, bytes := commDelta(before, lv.c.Stats())
-	costs.add(trace.PhaseOther, trace.RankCost{Msgs: msgs, Bytes: bytes})
-	lv.jlog.Emit(obs.Event{
-		Stage: lv.jstage, Outer: lv.jouter, Iter: -1, Phase: obs.PhaseOther,
-		Start: j0, End: lv.jlog.Now(), Msgs: msgs, Bytes: bytes,
-	})
+	// refresh journals its two Module_Info rounds as first-class spans.
+	out.numModules = lv.refresh(costs, -1)
 
 	s := lv.newScratch()
 	bestL := lv.agg.L()
@@ -75,9 +71,9 @@ func (lv *level) cluster(costs phaseCosts) clusterOutcome {
 		// --- BroadcastDelegates ---
 		lv.timer.Start(trace.PhaseBcastDelegates)
 		jt = lv.jlog.Now()
-		before = lv.c.Stats()
+		before := lv.c.Stats()
 		hubMoves := lv.broadcastDelegates(cands)
-		msgs, bytes = commDelta(before, lv.c.Stats())
+		msgs, bytes := commDelta(before, lv.c.Stats())
 		lv.timer.Stop(trace.PhaseBcastDelegates)
 		costs.add(trace.PhaseBcastDelegates, trace.RankCost{
 			Ops: int64(len(cands)), Msgs: msgs, Bytes: bytes,
@@ -105,21 +101,21 @@ func (lv *level) cluster(costs phaseCosts) clusterOutcome {
 			Ops: int64(swaps), Msgs: msgs, Bytes: bytes,
 		})
 
-		// --- Other: module refresh + MDL reduction + convergence vote ---
+		// --- Module refresh (rounds 1-2 journal their own spans) ---
+		out.numModules = lv.refresh(costs, int32(iter))
+
+		// --- Other: global move count + convergence vote ---
 		lv.timer.Start(trace.PhaseOther)
 		jt = lv.jlog.Now()
 		before = lv.c.Stats()
-		out.numModules = lv.refresh()
 		total := lv.c.AllreduceI64(int64(moves+hubMoves+deferred), mpi.OpSum)
 		msgs, bytes = commDelta(before, lv.c.Stats())
 		lv.timer.Stop(trace.PhaseOther)
-		costs.add(trace.PhaseOther, trace.RankCost{
-			Ops: int64(len(lv.mods)), Msgs: msgs, Bytes: bytes,
-		})
+		costs.add(trace.PhaseOther, trace.RankCost{Msgs: msgs, Bytes: bytes})
 		lv.jlog.Emit(obs.Event{
 			Stage: lv.jstage, Outer: lv.jouter, Iter: int32(iter),
 			Phase: obs.PhaseOther, Start: jt, End: lv.jlog.Now(),
-			Ops: int64(len(lv.mods)), Msgs: msgs, Bytes: bytes,
+			Msgs: msgs, Bytes: bytes,
 		})
 
 		out.iterations++
@@ -163,8 +159,16 @@ func (lv *level) cluster(costs phaseCosts) clusterOutcome {
 }
 
 // rankMain is the SPMD program each simulated rank executes: the full
-// Algorithm 2.
+// Algorithm 2. It labels the goroutine's profiler samples with the rank
+// id, so a -cpuprofile taken over a run splits per simulated rank
+// (go tool pprof -tagfocus rank=3).
 func (rs *runState) rankMain(c *mpi.Comm) {
+	pprof.Do(context.Background(), pprof.Labels("rank", strconv.Itoa(c.Rank())),
+		func(context.Context) { rs.rankBody(c) })
+}
+
+// rankBody is the algorithm proper, run under the rank's pprof label.
+func (rs *runState) rankBody(c *mpi.Comm) {
 	cfg := rs.cfg
 	rank := c.Rank()
 	p := c.Size()
@@ -211,7 +215,7 @@ func (rs *runState) rankMain(c *mpi.Comm) {
 		if prevLive <= 1 {
 			break
 		}
-		arcs := cur.mergeShuffle()
+		arcs := cur.mergeShuffle(costs2)
 		merged := newMergedLevel(c, cfg, idSpace, arcs, vertexTerm, cfg.Seed, outer)
 		merged.jlog, merged.jstage, merged.jouter = jlog, 2, uint16(outer)
 		oc = merged.cluster(costs2)
@@ -257,6 +261,7 @@ func (rs *runState) rankMain(c *mpi.Comm) {
 	// rank writes only its own slot; rank 0 additionally writes the
 	// rank-identical outputs).
 	rs.perRankPhase[rank] = costs1
+	rs.perRankStage2Phase[rank] = costs2
 	var stage2Total trace.RankCost
 	//dinfomap:unordered-ok integer counter sums; addition order cannot change the totals
 	for _, c := range costs2 {

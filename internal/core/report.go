@@ -60,6 +60,10 @@ func BuildReport(g *graph.Graph, cfg Config, res *Result) *obs.Report {
 	for ph, d := range res.PhaseModeled {
 		rep.Timing.PhaseModeledNs[ph] = d.Nanoseconds()
 	}
+	journaled := cfg.Journal.NumRanks() > 0
+	if journaled {
+		rep.Timing.PhaseWallNs = make(map[string]int64)
+	}
 	for r := 0; r < cfg.P && r < len(res.PerRankPhase); r++ {
 		rr := obs.RankReport{
 			Rank:   r,
@@ -71,6 +75,26 @@ func BuildReport(g *graph.Graph, cfg Config, res *Result) *obs.Report {
 		}
 		if r < len(res.PerRankStage2) {
 			rr.Stage2 = phaseCost(res.PerRankStage2[r])
+		}
+		if r < len(res.PerRankStage2Phase) && len(res.PerRankStage2Phase[r]) > 0 {
+			rr.Stage2Phases = make(map[string]obs.PhaseCost, len(res.PerRankStage2Phase[r]))
+			//dinfomap:unordered-ok map-to-map copy; encoding/json sorts report map keys on output
+			for ph, c := range res.PerRankStage2Phase[r] {
+				rr.Stage2Phases[ph] = phaseCost(c)
+			}
+		}
+		if journaled && r < cfg.Journal.NumRanks() {
+			wall := cfg.Journal.PhaseWall(r)
+			if len(wall) > 0 {
+				rr.PhaseWallNs = make(map[string]int64, len(wall))
+			}
+			//dinfomap:unordered-ok map-to-map copy plus max reduction; commutative and json-sorted on output
+			for ph, d := range wall {
+				rr.PhaseWallNs[ph] = d.Nanoseconds()
+				if d.Nanoseconds() > rep.Timing.PhaseWallNs[ph] {
+					rep.Timing.PhaseWallNs[ph] = d.Nanoseconds()
+				}
+			}
 		}
 		if r < len(res.PerRankWall1) {
 			rr.Wall1Ns = res.PerRankWall1[r].Nanoseconds()

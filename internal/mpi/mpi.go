@@ -24,8 +24,11 @@ import (
 	"time"
 )
 
-// DeadlockTimeout is how long a Recv or collective may block before the
-// runtime declares a deadlock and panics. Tests lower it.
+// DeadlockTimeout is the default for how long a Recv or collective may
+// block before the runtime declares a deadlock and panics. It is read
+// once when a World is created; to lower it for a single run (as tests
+// do) pass WithTimeout to Run instead of mutating this variable, which
+// would race with concurrently running worlds.
 var DeadlockTimeout = 120 * time.Second
 
 // message is one point-to-point payload in flight.
@@ -62,7 +65,14 @@ func (ib *inbox) take(src, tag int) (message, bool) {
 	defer ib.mu.Unlock()
 	for i, m := range ib.queue {
 		if (src == AnySource || m.src == src) && m.tag == tag {
-			ib.queue = append(ib.queue[:i], ib.queue[i+1:]...)
+			// Shift the tail down and zero the vacated slot: a plain
+			// append(queue[:i], queue[i+1:]...) would leave a second
+			// reference to the last message in the backing array,
+			// retaining its payload for the inbox's lifetime.
+			n := len(ib.queue)
+			copy(ib.queue[i:], ib.queue[i+1:])
+			ib.queue[n-1] = message{}
+			ib.queue = ib.queue[:n-1]
 			return m, true
 		}
 	}
@@ -75,6 +85,7 @@ const AnySource = -1
 // World owns the shared state of one simulated cluster run.
 type World struct {
 	size    int
+	timeout time.Duration // deadlock watchdog; immutable after Run starts
 	inboxes []*inbox
 	barrier *barrier
 	slots   [][]byte   // collective exchange slots, one per rank
@@ -83,6 +94,20 @@ type World struct {
 	once    sync.Once
 	failure error
 	failMu  sync.Mutex
+}
+
+// RunOpt configures one Run before its ranks start.
+type RunOpt func(*World)
+
+// WithTimeout sets this world's deadlock timeout, overriding the
+// package default DeadlockTimeout for this run only. d <= 0 keeps the
+// default.
+func WithTimeout(d time.Duration) RunOpt {
+	return func(w *World) {
+		if d > 0 {
+			w.timeout = d
+		}
+	}
 }
 
 func (w *World) poisonWith(err error) {
@@ -161,17 +186,22 @@ func (c *Comm) ResetStats() { c.stats = Stats{} }
 // Run executes fn as an SPMD program on size ranks and returns each
 // rank's final Stats. It panics (with the original message) if any rank
 // panics; other ranks blocked in communication are woken and unwound.
-func Run(size int, fn func(c *Comm)) []Stats {
+// Options (e.g. WithTimeout) apply to this world only.
+func Run(size int, fn func(c *Comm), opts ...RunOpt) []Stats {
 	if size < 1 {
 		panic("mpi: Run with size < 1")
 	}
 	w := &World{
 		size:    size,
+		timeout: DeadlockTimeout,
 		inboxes: make([]*inbox, size),
 		barrier: newBarrier(size),
 		slots:   make([][]byte, size),
 		a2a:     make([][][]byte, size),
 		poison:  make(chan struct{}),
+	}
+	for _, opt := range opts {
+		opt(w)
 	}
 	for i := range w.inboxes {
 		w.inboxes[i] = newInbox()
@@ -220,7 +250,7 @@ func (c *Comm) Send(dst, tag int, data []byte) {
 // returns its payload and actual source. src may be AnySource.
 func (c *Comm) Recv(src, tag int) (data []byte, from int) {
 	ib := c.w.inboxes[c.rank]
-	deadline := time.NewTimer(DeadlockTimeout)
+	deadline := time.NewTimer(c.w.timeout)
 	defer deadline.Stop()
 	for {
 		if m, ok := ib.take(src, tag); ok {
@@ -259,7 +289,7 @@ func (c *Comm) Barrier() {
 // sync waits on the world barrier without charging collective cost; the
 // collectives use it internally so one logical collective is billed once.
 func (c *Comm) sync() {
-	c.w.barrier.wait(c.w.poison)
+	c.w.barrier.wait(c.w.poison, c.w.timeout)
 }
 
 // barrier is a reusable generation barrier.
@@ -274,7 +304,7 @@ func newBarrier(size int) *barrier {
 	return &barrier{size: size, gen: make(chan struct{})}
 }
 
-func (b *barrier) wait(poison <-chan struct{}) {
+func (b *barrier) wait(poison <-chan struct{}, timeout time.Duration) {
 	b.mu.Lock()
 	ch := b.gen
 	b.count++
@@ -286,7 +316,7 @@ func (b *barrier) wait(poison <-chan struct{}) {
 		return
 	}
 	b.mu.Unlock()
-	deadline := time.NewTimer(DeadlockTimeout)
+	deadline := time.NewTimer(timeout)
 	defer deadline.Stop()
 	select {
 	case <-ch:

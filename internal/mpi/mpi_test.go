@@ -292,10 +292,7 @@ func TestStatsAddAndTotal(t *testing.T) {
 }
 
 func TestPanicPropagatesAndUnblocksOthers(t *testing.T) {
-	old := DeadlockTimeout
-	DeadlockTimeout = 10 * time.Second
 	defer func() {
-		DeadlockTimeout = old
 		p := recover()
 		if p == nil || !strings.Contains(fmt.Sprint(p), "boom") {
 			t.Fatalf("panic = %v, want to contain 'boom'", p)
@@ -306,14 +303,11 @@ func TestPanicPropagatesAndUnblocksOthers(t *testing.T) {
 			panic("boom")
 		}
 		c.Recv(0, 99) // would deadlock without poison propagation
-	})
+	}, WithTimeout(10*time.Second))
 }
 
 func TestDeadlockDetection(t *testing.T) {
-	old := DeadlockTimeout
-	DeadlockTimeout = 200 * time.Millisecond
 	defer func() {
-		DeadlockTimeout = old
 		p := recover()
 		if p == nil || !strings.Contains(fmt.Sprint(p), "deadlock") {
 			t.Fatalf("panic = %v, want deadlock report", p)
@@ -324,7 +318,85 @@ func TestDeadlockDetection(t *testing.T) {
 			c.Recv(1, 42) // never sent
 		}
 		// rank 1 exits immediately
-	})
+	}, WithTimeout(200*time.Millisecond))
+}
+
+// TestPerWorldTimeoutIsolated runs a short-timeout world that deadlocks
+// while a second, long-timeout world is in flight. Before the timeout
+// became per-World state, the only way to lower it was to mutate the
+// package global mid-run — a data race -race can hit and a semantic bug
+// (the slow world would inherit the short deadline). The concurrent
+// world must finish normally under its own timeout.
+func TestPerWorldTimeoutIsolated(t *testing.T) {
+	slowDone := make(chan error, 1)
+	go func() {
+		defer func() {
+			if p := recover(); p != nil {
+				slowDone <- fmt.Errorf("slow world panicked: %v", p)
+				return
+			}
+			slowDone <- nil
+		}()
+		Run(2, func(c *Comm) {
+			// Enough barrier crossings to overlap the fast world's
+			// deadlock window.
+			for i := 0; i < 20; i++ {
+				c.Barrier()
+				time.Sleep(5 * time.Millisecond)
+			}
+		}, WithTimeout(30*time.Second))
+	}()
+
+	fastDone := make(chan any, 1)
+	go func() {
+		defer func() { fastDone <- recover() }()
+		Run(2, func(c *Comm) {
+			if c.Rank() == 0 {
+				c.Recv(1, 7) // never sent: must hit the 50ms watchdog
+			}
+		}, WithTimeout(50*time.Millisecond))
+	}()
+
+	if p := <-fastDone; p == nil || !strings.Contains(fmt.Sprint(p), "deadlock") {
+		t.Fatalf("fast world panic = %v, want deadlock report", p)
+	}
+	if err := <-slowDone; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTakeClearsVacatedSlot checks that removing a message from the
+// middle of the inbox queue zeroes the vacated tail slot: the buggy
+// append-based delete left a duplicate reference to the tail message in
+// the backing array, retaining its payload for the inbox's lifetime.
+func TestTakeClearsVacatedSlot(t *testing.T) {
+	ib := newInbox()
+	ib.put(message{src: 0, tag: 1, data: []byte("first")})
+	ib.put(message{src: 1, tag: 2, data: []byte("second")})
+	ib.put(message{src: 2, tag: 3, data: make([]byte, 1<<20)})
+
+	m, ok := ib.take(0, 1)
+	if !ok || string(m.data) != "first" {
+		t.Fatalf("take(0,1) = %+v, %v", m, ok)
+	}
+	if len(ib.queue) != 2 {
+		t.Fatalf("queue length = %d, want 2", len(ib.queue))
+	}
+	// The slot the tail shifted out of must not retain the big payload.
+	tail := ib.queue[:3][2]
+	if tail.data != nil {
+		t.Fatalf("vacated slot still references %d payload bytes", len(tail.data))
+	}
+	if tail.src != 0 || tail.tag != 0 {
+		t.Fatalf("vacated slot not zeroed: %+v", tail)
+	}
+	// The remaining messages are intact and in order.
+	if m, ok := ib.take(AnySource, 2); !ok || string(m.data) != "second" {
+		t.Fatalf("take(AnySource,2) = %+v, %v", m, ok)
+	}
+	if m, ok := ib.take(2, 3); !ok || len(m.data) != 1<<20 {
+		t.Fatalf("take(2,3) = %d bytes, %v", len(m.data), ok)
+	}
 }
 
 func TestEncoderDecoderRoundTrip(t *testing.T) {

@@ -13,6 +13,8 @@
 package obs
 
 import (
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"dinfomap/internal/trace"
@@ -22,12 +24,17 @@ import (
 // records these instead of strings.
 type PhaseID uint8
 
-// The four Figure-8 phases of the synchronized clustering loop.
+// The four Figure-8 phases of the synchronized clustering loop, plus
+// the Algorithm 3 / Section 3.5 stage internals split out of Other
+// (refresh rounds 1-2 and the merge shuffle).
 const (
 	PhaseFindBestModule PhaseID = iota
 	PhaseBcastDelegates
 	PhaseSwapBoundary
 	PhaseOther
+	PhaseRefreshRound1
+	PhaseRefreshRound2
+	PhaseMergeShuffle
 	numPhases
 )
 
@@ -42,6 +49,12 @@ func (p PhaseID) Name() string {
 		return trace.PhaseSwapBoundary
 	case PhaseOther:
 		return trace.PhaseOther
+	case PhaseRefreshRound1:
+		return trace.PhaseRefreshRound1
+	case PhaseRefreshRound2:
+		return trace.PhaseRefreshRound2
+	case PhaseMergeShuffle:
+		return trace.PhaseMergeShuffle
 	}
 	return "Unknown"
 }
@@ -78,11 +91,22 @@ type Event struct {
 func (e Event) Dur() time.Duration { return e.End - e.Start }
 
 // RankLog is one rank's append-only event buffer. Only that rank writes
-// to it during a run; readers must wait until the run finishes.
+// to it during a run; Events readers must wait until the run finishes.
+// Live observers use the journal's Subscribe tap and Status snapshot
+// instead, which read only the atomically-published fields.
 type RankLog struct {
 	rank   int
 	epoch  time.Time
 	events []Event
+
+	// j points back at the owning journal so Emit can publish to live
+	// subscribers; nil for standalone logs (exporter tests).
+	j *Journal
+	// emitted counts events atomically so Status can be read mid-run
+	// (len(events) is owned by the rank goroutine alone).
+	emitted atomic.Int64
+	// last publishes a copy of the most recent event for Status.
+	last atomic.Pointer[Event]
 }
 
 // Now returns the current offset from the journal epoch; 0 on a nil log.
@@ -93,12 +117,21 @@ func (rl *RankLog) Now() time.Duration {
 	return time.Since(rl.epoch)
 }
 
-// Emit appends ev to the log; no-op on a nil log.
+// Emit appends ev to the log; no-op on a nil log. When the owning
+// journal has live subscribers the event is also offered to each tap,
+// without ever blocking: a slow consumer's ring fills and further
+// events are counted as dropped instead.
 func (rl *RankLog) Emit(ev Event) {
 	if rl == nil {
 		return
 	}
 	rl.events = append(rl.events, ev)
+	seq := rl.emitted.Add(1)
+	evCopy := ev
+	rl.last.Store(&evCopy)
+	if rl.j != nil {
+		rl.j.publish(StreamEvent{Rank: rl.rank, Seq: seq, Event: ev})
+	}
 }
 
 // Rank returns the owning rank id.
@@ -113,11 +146,25 @@ func (rl *RankLog) Events() []Event {
 }
 
 // Journal collects the per-rank logs of one run. Ranks never share a
-// buffer, so appends need no synchronization; the only shared state, the
-// epoch, is read-only after construction.
+// buffer, so appends need no synchronization; the epoch is read-only
+// after construction, and the live-streaming subscriber list (see
+// stream.go) is touched on the hot path only as one atomic pointer
+// load, nil when nobody is watching.
 type Journal struct {
 	epoch time.Time
 	ranks []*RankLog
+
+	// taps is the current subscriber list; Emit loads it once per event.
+	// Subscribe/Unsubscribe swap in a fresh slice under tapMu.
+	taps atomic.Pointer[[]*Tap]
+	// tapMu serializes subscriber-list mutation and Finish.
+	tapMu sync.Mutex
+	// finished flips once when the run completes (Finish); taps close
+	// and later subscribers observe an immediately-closed stream.
+	finished atomic.Bool
+	// dropped counts events lost to slow subscribers across all taps
+	// over the journal's lifetime.
+	dropped atomic.Int64
 }
 
 // initialEventCap preallocates each rank's buffer; a typical run emits
@@ -128,7 +175,7 @@ const initialEventCap = 1024
 func NewJournal(p int) *Journal {
 	j := &Journal{epoch: time.Now(), ranks: make([]*RankLog, p)}
 	for r := range j.ranks {
-		j.ranks[r] = &RankLog{rank: r, epoch: j.epoch, events: make([]Event, 0, initialEventCap)}
+		j.ranks[r] = &RankLog{rank: r, epoch: j.epoch, j: j, events: make([]Event, 0, initialEventCap)}
 	}
 	return j
 }

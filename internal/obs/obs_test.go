@@ -52,7 +52,10 @@ func TestJournalRankIsolationAndOrder(t *testing.T) {
 
 func TestPhaseNames(t *testing.T) {
 	names := PhaseNames()
-	want := []string{"FindBestModule", "BroadcastDelegates", "SwapBoundaryInfo", "Other"}
+	want := []string{
+		"FindBestModule", "BroadcastDelegates", "SwapBoundaryInfo", "Other",
+		"refresh-round1", "refresh-round2", "merge-shuffle",
+	}
 	if len(names) != len(want) {
 		t.Fatalf("PhaseNames = %v", names)
 	}

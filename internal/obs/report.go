@@ -48,14 +48,23 @@ func CommFromStats(s mpi.Stats) CommTotals {
 type RankReport struct {
 	Rank int `json:"rank"`
 	// Phases holds the stage-1 per-phase measured cost, keyed by the
-	// Figure-8 phase names.
+	// Figure-8 phase names plus the refresh-round1/refresh-round2
+	// stage-internal spans.
 	Phases map[string]PhaseCost `json:"phases"`
 	// Stage2 is the rank's total stage-2 cost (all merged levels).
-	Stage2     PhaseCost  `json:"stage2"`
-	Wall1Ns    int64      `json:"wall1_ns"`
-	Wall2Ns    int64      `json:"wall2_ns"`
-	DeltaEvals int64      `json:"delta_evals"`
-	Comm       CommTotals `json:"comm"`
+	Stage2 PhaseCost `json:"stage2"`
+	// Stage2Phases breaks Stage2 into phases, including merge-shuffle.
+	// Schema addition (v1-compatible): absent in reports written before
+	// stage internals were first-class spans.
+	Stage2Phases map[string]PhaseCost `json:"stage2_phases,omitempty"`
+	// PhaseWallNs is the rank's measured journal wall time per span
+	// name, both stages combined. Only present when the run journaled;
+	// unlike the modeled times it includes host-side scheduling noise.
+	PhaseWallNs map[string]int64 `json:"phase_wall_ns,omitempty"`
+	Wall1Ns     int64            `json:"wall1_ns"`
+	Wall2Ns     int64            `json:"wall2_ns"`
+	DeltaEvals  int64            `json:"delta_evals"`
+	Comm        CommTotals       `json:"comm"`
 }
 
 // GraphInfo summarizes the input graph.
@@ -102,6 +111,10 @@ type TimingInfo struct {
 	Stage2ModeledNs int64            `json:"stage2_modeled_ns"`
 	TotalModeledNs  int64            `json:"total_modeled_ns"`
 	PhaseModeledNs  map[string]int64 `json:"phase_modeled_ns"`
+	// PhaseWallNs is the measured journal wall time per span name,
+	// max over ranks (the bulk-synchronous gate). Schema addition;
+	// present only when the run journaled.
+	PhaseWallNs map[string]int64 `json:"phase_wall_ns,omitempty"`
 }
 
 // PartitionInfo summarizes the delegate layout (Figures 6-7).

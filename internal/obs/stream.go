@@ -1,0 +1,382 @@
+// Live run streaming: a subscription tap on the event journal plus the
+// HTTP surface (/debug/dinfomap/events, /debug/dinfomap/status) that
+// exposes it on a running process.
+//
+// The design constraint is the same as the journal's: ranks must never
+// block on observers. A Tap is a bounded ring (a buffered channel) with
+// a drop counter — Emit offers each event with a non-blocking send, so
+// a slow or stalled consumer loses events (counted) instead of stalling
+// the bulk-synchronous ranks. With no subscribers the hot path pays one
+// atomic pointer load per event.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// StreamEvent is one journal event as seen by a live subscriber: the
+// emitting rank, that rank's 1-based emission sequence number, and the
+// event itself.
+type StreamEvent struct {
+	Rank int
+	Seq  int64
+	Event
+}
+
+// DefaultTapBuffer is the ring capacity ServeEvents subscribes with:
+// large enough to absorb an SSE write stall of several sweeps at
+// typical event rates (a few events per rank per sweep).
+const DefaultTapBuffer = 4096
+
+// Tap is one subscriber's bounded view of a journal's live event flow.
+// Read events from Events; the channel closes when the run finishes
+// (Journal.Finish) or the tap is unsubscribed.
+type Tap struct {
+	ch chan StreamEvent
+
+	mu     sync.Mutex
+	closed bool
+	drops  int64
+}
+
+// Events returns the tap's event channel. Events arrive in per-rank
+// order; cross-rank interleaving follows emission time.
+func (t *Tap) Events() <-chan StreamEvent { return t.ch }
+
+// Drops returns how many events were discarded because the ring was
+// full when they arrived.
+func (t *Tap) Drops() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.drops
+}
+
+// offer delivers ev without blocking; a full ring counts a drop.
+// Reported is false when the event was dropped. Safe against a
+// concurrent close: the closed flag and the channel share the mutex.
+func (t *Tap) offer(ev StreamEvent) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return true // not a consumer-speed drop; the tap is gone
+	}
+	select {
+	case t.ch <- ev:
+		return true
+	default:
+		t.drops++
+		return false
+	}
+}
+
+// close idempotently closes the event channel.
+func (t *Tap) close() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.closed {
+		t.closed = true
+		close(t.ch)
+	}
+}
+
+// Subscribe registers a live tap with a ring of the given capacity
+// (min 1) and returns it. Ranks never block on the tap: when its ring
+// is full, events are dropped and counted. On a journal whose run has
+// already finished the returned tap is immediately closed, so readers
+// fall through to the final Status. Subscribe is safe to call while
+// the run is in flight; a nil journal returns a closed tap.
+func (j *Journal) Subscribe(buf int) *Tap {
+	if buf < 1 {
+		buf = 1
+	}
+	t := &Tap{ch: make(chan StreamEvent, buf)}
+	if j == nil {
+		t.close()
+		return t
+	}
+	j.tapMu.Lock()
+	defer j.tapMu.Unlock()
+	if j.finished.Load() {
+		t.close()
+		return t
+	}
+	old := j.taps.Load()
+	var next []*Tap
+	if old != nil {
+		next = append(next, *old...)
+	}
+	next = append(next, t)
+	j.taps.Store(&next)
+	return t
+}
+
+// Unsubscribe removes t and closes its channel. Removing a tap that is
+// not subscribed (already unsubscribed, or closed by Finish) is a no-op.
+func (j *Journal) Unsubscribe(t *Tap) {
+	if j == nil || t == nil {
+		return
+	}
+	j.tapMu.Lock()
+	old := j.taps.Load()
+	if old != nil {
+		next := make([]*Tap, 0, len(*old))
+		for _, x := range *old {
+			if x != t {
+				next = append(next, x)
+			}
+		}
+		if len(next) == 0 {
+			j.taps.Store(nil)
+		} else {
+			j.taps.Store(&next)
+		}
+	}
+	j.tapMu.Unlock()
+	t.close()
+}
+
+// Finish marks the run complete and closes every live tap, ending each
+// subscriber's stream after the events already in its ring. Emit after
+// Finish is still safe (events only land in the post-hoc buffers).
+// Call it once, after mpi.Run returns.
+func (j *Journal) Finish() {
+	if j == nil {
+		return
+	}
+	j.tapMu.Lock()
+	defer j.tapMu.Unlock()
+	if j.finished.Swap(true) {
+		return
+	}
+	if old := j.taps.Load(); old != nil {
+		j.taps.Store(nil)
+		for _, t := range *old {
+			t.close()
+		}
+	}
+}
+
+// Finished reports whether Finish has been called.
+func (j *Journal) Finished() bool { return j != nil && j.finished.Load() }
+
+// publish offers ev to every live tap; drops accumulate on the journal
+// as well as on the individual taps.
+func (j *Journal) publish(ev StreamEvent) {
+	taps := j.taps.Load()
+	if taps == nil {
+		return
+	}
+	for _, t := range *taps {
+		if !t.offer(ev) {
+			j.dropped.Add(1)
+		}
+	}
+}
+
+// StatusSchema identifies the live status snapshot JSON schema.
+const StatusSchema = "dinfomap-status/v1"
+
+// RankStatus is one rank's live progress: how many events it has
+// emitted and where its most recent span sat in the run structure.
+type RankStatus struct {
+	Rank   int    `json:"rank"`
+	Events int64  `json:"events"`
+	Stage  int    `json:"stage"`
+	Outer  int    `json:"outer"`
+	Iter   int    `json:"iter"`
+	Phase  string `json:"phase"`
+	LastNs int64  `json:"last_event_end_ns"`
+}
+
+// Status is a point-in-time snapshot of a run, safe to take while
+// ranks are still iterating (it reads only atomically-published
+// counters, never the per-rank event buffers).
+type Status struct {
+	Schema string `json:"schema"`
+	// UptimeNs is the time since the journal epoch.
+	UptimeNs int64 `json:"uptime_ns"`
+	// Finished is true once the run has completed (Journal.Finish).
+	Finished bool `json:"finished"`
+	// Events is the total event count across ranks.
+	Events int64 `json:"events"`
+	// DroppedEvents counts events lost to slow live subscribers over
+	// the journal's lifetime (they remain in the post-hoc journal).
+	DroppedEvents int64        `json:"dropped_events"`
+	Ranks         []RankStatus `json:"ranks"`
+}
+
+// Status snapshots the journal's live progress.
+func (j *Journal) Status() Status {
+	st := Status{Schema: StatusSchema}
+	if j == nil {
+		return st
+	}
+	st.UptimeNs = time.Since(j.epoch).Nanoseconds()
+	st.Finished = j.finished.Load()
+	st.DroppedEvents = j.dropped.Load()
+	st.Ranks = make([]RankStatus, len(j.ranks))
+	for r, rl := range j.ranks {
+		rs := RankStatus{Rank: r, Events: rl.emitted.Load(), Iter: -1}
+		if last := rl.last.Load(); last != nil {
+			rs.Stage = int(last.Stage)
+			rs.Outer = int(last.Outer)
+			rs.Iter = int(last.Iter)
+			rs.Phase = last.Phase.Name()
+			rs.LastNs = last.End.Nanoseconds()
+		}
+		st.Events += rs.Events
+		st.Ranks[r] = rs
+	}
+	return st
+}
+
+// streamEventJSON is the wire form of one SSE span event.
+type streamEventJSON struct {
+	Rank     int    `json:"rank"`
+	Seq      int64  `json:"seq"`
+	Stage    int    `json:"stage"`
+	Outer    int    `json:"outer"`
+	Iter     int    `json:"iter"`
+	Phase    string `json:"phase"`
+	StartNs  int64  `json:"start_ns"`
+	EndNs    int64  `json:"end_ns"`
+	Moves    int32  `json:"moves"`
+	Deferred int32  `json:"deferred"`
+	Ops      int64  `json:"ops"`
+	Msgs     int64  `json:"msgs"`
+	Bytes    int64  `json:"bytes"`
+}
+
+func toWire(ev StreamEvent) streamEventJSON {
+	return streamEventJSON{
+		Rank:     ev.Rank,
+		Seq:      ev.Seq,
+		Stage:    int(ev.Stage),
+		Outer:    int(ev.Outer),
+		Iter:     int(ev.Iter),
+		Phase:    ev.Phase.Name(),
+		StartNs:  ev.Start.Nanoseconds(),
+		EndNs:    ev.End.Nanoseconds(),
+		Moves:    ev.Moves,
+		Deferred: ev.Deferred,
+		Ops:      ev.Ops,
+		Msgs:     ev.Msgs,
+		Bytes:    ev.Bytes,
+	}
+}
+
+// ServeEvents streams the journal as Server-Sent Events: a `hello`
+// event with the rank count, one `span` event per journal event as it
+// is emitted, and a final `status` event (the Status snapshot) when the
+// run finishes, after which the stream ends. Connecting after the run
+// has finished yields hello + status immediately. The handler never
+// back-pressures ranks: a slow client's ring overflows and the final
+// status reports the drop count.
+func (j *Journal) ServeEvents(w http.ResponseWriter, r *http.Request) {
+	if j == nil {
+		http.Error(w, "no run journal", http.StatusNotFound)
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no")
+
+	tap := j.Subscribe(DefaultTapBuffer)
+	defer j.Unsubscribe(tap)
+
+	if err := writeSSE(w, "hello", map[string]any{
+		"schema": StatusSchema, "ranks": j.NumRanks(),
+	}); err != nil {
+		return
+	}
+	fl.Flush()
+
+	ctx := r.Context()
+	for {
+		select {
+		case ev, open := <-tap.Events():
+			if !open {
+				// Run finished (or tap force-closed): final snapshot.
+				_ = writeSSE(w, "status", j.Status())
+				fl.Flush()
+				return
+			}
+			if err := writeSSE(w, "span", toWire(ev)); err != nil {
+				return
+			}
+			// Drain whatever else is already buffered before flushing,
+			// so a fast producer does not force a flush per event.
+		drain:
+			for {
+				select {
+				case ev, open := <-tap.Events():
+					if !open {
+						_ = writeSSE(w, "status", j.Status())
+						fl.Flush()
+						return
+					}
+					if err := writeSSE(w, "span", toWire(ev)); err != nil {
+						return
+					}
+				default:
+					break drain
+				}
+			}
+			fl.Flush()
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+// ServeStatus writes the live Status snapshot as JSON.
+func (j *Journal) ServeStatus(w http.ResponseWriter, _ *http.Request) {
+	if j == nil {
+		http.Error(w, "no run journal", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(j.Status()); err != nil {
+		// Headers are out; nothing to do but drop the connection.
+		return
+	}
+}
+
+// Debug endpoint paths registered by RegisterDebugHandlers.
+const (
+	EventsPath = "/debug/dinfomap/events"
+	StatusPath = "/debug/dinfomap/status"
+)
+
+// RegisterDebugHandlers installs the live-run endpoints on mux
+// (typically http.DefaultServeMux, next to net/http/pprof):
+//
+//	/debug/dinfomap/events  SSE event stream (hello, span*, status)
+//	/debug/dinfomap/status  JSON progress snapshot
+func RegisterDebugHandlers(mux *http.ServeMux, j *Journal) {
+	mux.HandleFunc(EventsPath, j.ServeEvents)
+	mux.HandleFunc(StatusPath, j.ServeStatus)
+}
+
+// writeSSE writes one SSE frame with the given event name and a JSON
+// payload.
+func writeSSE(w io.Writer, event string, payload any) error {
+	data, err := json.Marshal(payload)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data)
+	return err
+}

@@ -1,0 +1,326 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func emitN(j *Journal, rank, n int) {
+	rl := j.Rank(rank)
+	for i := 0; i < n; i++ {
+		rl.Emit(Event{
+			Stage: 1, Iter: int32(i), Phase: PhaseFindBestModule,
+			Start: time.Duration(i) * time.Millisecond,
+			End:   time.Duration(i+1) * time.Millisecond,
+			Ops:   int64(i),
+		})
+	}
+}
+
+func TestTapReceivesEventsInOrder(t *testing.T) {
+	j := NewJournal(2)
+	tap := j.Subscribe(64)
+	emitN(j, 0, 5)
+	emitN(j, 1, 3)
+	j.Finish()
+
+	var got []StreamEvent
+	for ev := range tap.Events() {
+		got = append(got, ev)
+	}
+	if len(got) != 8 {
+		t.Fatalf("received %d events, want 8", len(got))
+	}
+	// Per-rank sequence numbers are contiguous from 1.
+	next := map[int]int64{0: 1, 1: 1}
+	for _, ev := range got {
+		if ev.Seq != next[ev.Rank] {
+			t.Fatalf("rank %d seq %d, want %d", ev.Rank, ev.Seq, next[ev.Rank])
+		}
+		next[ev.Rank]++
+	}
+	if d := tap.Drops(); d != 0 {
+		t.Fatalf("drops = %d, want 0", d)
+	}
+}
+
+// TestSlowConsumerDropsCountedNeverBlocks fills a tiny ring far past
+// capacity without any consumer: every Emit must return immediately and
+// the overflow must be counted, on the tap and on the journal.
+func TestSlowConsumerDropsCountedNeverBlocks(t *testing.T) {
+	j := NewJournal(1)
+	tap := j.Subscribe(4)
+
+	done := make(chan struct{})
+	go func() {
+		emitN(j, 0, 100) // nobody reading: must not block
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Emit blocked on a full tap ring")
+	}
+
+	if d := tap.Drops(); d != 96 {
+		t.Fatalf("tap drops = %d, want 96", d)
+	}
+	if st := j.Status(); st.DroppedEvents != 96 {
+		t.Fatalf("journal dropped_events = %d, want 96", st.DroppedEvents)
+	}
+	// The post-hoc journal still holds everything.
+	if n := len(j.Rank(0).Events()); n != 100 {
+		t.Fatalf("journal kept %d events, want 100", n)
+	}
+	// The ring still delivers the 4 events that fit.
+	j.Finish()
+	n := 0
+	for range tap.Events() {
+		n++
+	}
+	if n != 4 {
+		t.Fatalf("drained %d buffered events, want 4", n)
+	}
+}
+
+func TestUnsubscribeStopsDeliveryAndEmitStaysSafe(t *testing.T) {
+	j := NewJournal(1)
+	tap := j.Subscribe(8)
+	emitN(j, 0, 2)
+	j.Unsubscribe(tap)
+	// Emit into an unsubscribed (closed) tap world: must not panic.
+	emitN(j, 0, 3)
+	n := 0
+	for range tap.Events() {
+		n++
+	}
+	if n != 2 {
+		t.Fatalf("got %d events after unsubscribe, want the 2 pre-close ones", n)
+	}
+	// Unsubscribing twice is a no-op.
+	j.Unsubscribe(tap)
+}
+
+func TestSubscribeAfterFinishIsClosed(t *testing.T) {
+	j := NewJournal(1)
+	emitN(j, 0, 2)
+	j.Finish()
+	tap := j.Subscribe(8)
+	if _, open := <-tap.Events(); open {
+		t.Fatal("tap subscribed after Finish delivered an event; want closed channel")
+	}
+	if !j.Finished() {
+		t.Fatal("Finished() = false after Finish")
+	}
+	j.Finish() // idempotent
+}
+
+// TestConcurrentEmitSubscribeRace exercises Emit from a producer
+// goroutine racing Subscribe/Unsubscribe/Status from observers; run
+// under -race this is the regression test for the tap-list publication
+// protocol.
+func TestConcurrentEmitSubscribeRace(t *testing.T) {
+	j := NewJournal(4)
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			emitN(j, rank, 500)
+		}(r)
+	}
+	stop := make(chan struct{})
+	var obs sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		obs.Add(1)
+		go func() {
+			defer obs.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				tap := j.Subscribe(16)
+				for k := 0; k < 10; k++ {
+					select {
+					case <-tap.Events():
+					default:
+					}
+				}
+				_ = j.Status()
+				j.Unsubscribe(tap)
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	obs.Wait()
+	j.Finish()
+	if n := j.NumEvents(); n != 2000 {
+		t.Fatalf("journal has %d events, want 2000", n)
+	}
+}
+
+func TestStatusSnapshotMidRun(t *testing.T) {
+	j := NewJournal(2)
+	j.Rank(0).Emit(Event{Stage: 2, Outer: 3, Iter: 7, Phase: PhaseRefreshRound2, End: 5 * time.Millisecond})
+	st := j.Status()
+	if st.Schema != StatusSchema {
+		t.Fatalf("schema = %q", st.Schema)
+	}
+	if st.Finished {
+		t.Fatal("finished before Finish")
+	}
+	if st.Events != 1 || len(st.Ranks) != 2 {
+		t.Fatalf("events = %d ranks = %d", st.Events, len(st.Ranks))
+	}
+	r0 := st.Ranks[0]
+	if r0.Stage != 2 || r0.Outer != 3 || r0.Iter != 7 || r0.Phase != "refresh-round2" {
+		t.Fatalf("rank 0 status = %+v", r0)
+	}
+	if r0.LastNs != (5 * time.Millisecond).Nanoseconds() {
+		t.Fatalf("rank 0 last_event_end_ns = %d", r0.LastNs)
+	}
+	// Rank 1 has emitted nothing: zero values, Iter -1 sentinel.
+	if r1 := st.Ranks[1]; r1.Events != 0 || r1.Phase != "" || r1.Iter != -1 {
+		t.Fatalf("rank 1 status = %+v", r1)
+	}
+}
+
+// parseSSE splits an SSE body into (event, data) frames.
+func parseSSE(t *testing.T, body string) [](struct{ event, data string }) {
+	t.Helper()
+	var frames [](struct{ event, data string })
+	sc := bufio.NewScanner(strings.NewReader(body))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var cur struct{ event, data string }
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			cur.event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			cur.data = strings.TrimPrefix(line, "data: ")
+		case line == "":
+			if cur.event != "" || cur.data != "" {
+				frames = append(frames, cur)
+				cur = struct{ event, data string }{}
+			}
+		}
+	}
+	return frames
+}
+
+func TestServeEventsStreamsAndEndsWithStatus(t *testing.T) {
+	j := NewJournal(2)
+
+	// Emit only after the handler has had time to subscribe — events
+	// sent before Subscribe exist only in the post-hoc journal. The
+	// handler returns when Finish closes its tap.
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		emitN(j, 0, 3)
+		emitN(j, 1, 2)
+		j.Finish()
+	}()
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest("GET", EventsPath, nil)
+	j.ServeEvents(rec, req)
+
+	if ct := rec.Header().Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	frames := parseSSE(t, rec.Body.String())
+	if len(frames) < 3 {
+		t.Fatalf("got %d SSE frames, want hello + spans + status", len(frames))
+	}
+	if frames[0].event != "hello" {
+		t.Fatalf("first frame = %q, want hello", frames[0].event)
+	}
+	spans := 0
+	byRank := map[int]bool{}
+	for _, f := range frames[1 : len(frames)-1] {
+		if f.event != "span" {
+			t.Fatalf("middle frame event = %q, want span", f.event)
+		}
+		var ev streamEventJSON
+		if err := json.Unmarshal([]byte(f.data), &ev); err != nil {
+			t.Fatalf("span frame not JSON: %v", err)
+		}
+		if ev.Phase == "" || ev.EndNs < ev.StartNs {
+			t.Fatalf("malformed span %+v", ev)
+		}
+		byRank[ev.Rank] = true
+		spans++
+	}
+	if spans != 5 || !byRank[0] || !byRank[1] {
+		t.Fatalf("streamed %d spans from ranks %v, want 5 from both ranks", spans, byRank)
+	}
+	last := frames[len(frames)-1]
+	if last.event != "status" {
+		t.Fatalf("final frame = %q, want status", last.event)
+	}
+	var st Status
+	if err := json.Unmarshal([]byte(last.data), &st); err != nil {
+		t.Fatalf("status frame not JSON: %v", err)
+	}
+	if !st.Finished || st.Events != 5 {
+		t.Fatalf("final status = %+v", st)
+	}
+}
+
+func TestServeEventsAfterFinishServesSnapshotOnly(t *testing.T) {
+	j := NewJournal(1)
+	emitN(j, 0, 4)
+	j.Finish()
+	rec := httptest.NewRecorder()
+	j.ServeEvents(rec, httptest.NewRequest("GET", EventsPath, nil))
+	frames := parseSSE(t, rec.Body.String())
+	if len(frames) != 2 || frames[0].event != "hello" || frames[1].event != "status" {
+		t.Fatalf("post-run stream frames = %+v, want hello + status", frames)
+	}
+}
+
+func TestServeStatusJSON(t *testing.T) {
+	j := NewJournal(3)
+	emitN(j, 2, 6)
+	rec := httptest.NewRecorder()
+	j.ServeStatus(rec, httptest.NewRequest("GET", StatusPath, nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	var st Status
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Schema != StatusSchema || st.Events != 6 || len(st.Ranks) != 3 {
+		t.Fatalf("status = %+v", st)
+	}
+}
+
+func TestNilJournalStreamSurface(t *testing.T) {
+	var j *Journal
+	tap := j.Subscribe(4)
+	if _, open := <-tap.Events(); open {
+		t.Fatal("nil journal tap delivered an event")
+	}
+	j.Unsubscribe(tap)
+	j.Finish()
+	if j.Finished() {
+		t.Fatal("nil journal reports finished")
+	}
+	if st := j.Status(); st.Schema != StatusSchema || len(st.Ranks) != 0 {
+		t.Fatalf("nil journal status = %+v", st)
+	}
+	rec := httptest.NewRecorder()
+	j.ServeStatus(rec, httptest.NewRequest("GET", StatusPath, nil))
+	if rec.Code != 404 {
+		t.Fatalf("nil journal status code = %d, want 404", rec.Code)
+	}
+}

@@ -29,6 +29,23 @@ const (
 	PhaseOther          = "Other"
 )
 
+// Algorithm 3 / Section 3.5 stage internals, split out of Other so the
+// journal and trace expose the module-refresh and merge cost structure.
+const (
+	// PhaseRefreshRound1 is the Module_Info partial exchange: local
+	// partial aggregation plus the alltoallv shipping partials to each
+	// module's home rank and the owner-side summation.
+	PhaseRefreshRound1 = "refresh-round1"
+	// PhaseRefreshRound2 is the authoritative reply: owners answer
+	// subscribers (isSent-deduplicated), local module tables rebuild,
+	// and the MDL aggregates allreduce.
+	PhaseRefreshRound2 = "refresh-round2"
+	// PhaseMergeShuffle is the distributed graph contraction: local arc
+	// contraction plus the alltoallv redistributing merged arcs to their
+	// new 1D owners.
+	PhaseMergeShuffle = "merge-shuffle"
+)
+
 // Timer accumulates wall time and operation counts per named phase for
 // one rank. Not safe for concurrent use; each rank keeps its own.
 type Timer struct {

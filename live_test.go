@@ -1,0 +1,214 @@
+package dinfomap
+
+// Integration test for the live observability surface: a distributed
+// run serving /debug/dinfomap/events (SSE) and /debug/dinfomap/status
+// while its ranks are iterating, observed through the public API the
+// way cmd/dinfomap wires it up.
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+type sseFrame struct {
+	event string
+	data  string
+}
+
+// parseSSE splits a complete SSE body into (event, data) frames.
+func parseSSE(t *testing.T, body string) []sseFrame {
+	t.Helper()
+	var frames []sseFrame
+	for _, chunk := range strings.Split(body, "\n\n") {
+		chunk = strings.TrimSpace(chunk)
+		if chunk == "" {
+			continue
+		}
+		var f sseFrame
+		for _, line := range strings.Split(chunk, "\n") {
+			switch {
+			case strings.HasPrefix(line, "event: "):
+				f.event = strings.TrimPrefix(line, "event: ")
+			case strings.HasPrefix(line, "data: "):
+				f.data = strings.TrimPrefix(line, "data: ")
+			default:
+				t.Fatalf("malformed SSE line %q", line)
+			}
+		}
+		frames = append(frames, f)
+	}
+	return frames
+}
+
+func TestLiveEventStreamDuringRun(t *testing.T) {
+	const p = 4
+	pg := GeneratePlanted(PlantedConfig{
+		N: 4000, NumComms: 40, AvgDegree: 8, Mixing: 0.25,
+	}, 11)
+
+	j := NewRunJournal(p)
+	mux := http.NewServeMux()
+	RegisterRunDebugHandlers(mux, j)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	// A sentinel tap tells us when the ranks are provably mid-run, so
+	// the HTTP client below connects to a live stream, not a finished
+	// one. Taps never block ranks, so leaving it undrained is safe.
+	sentinel := j.Subscribe(1)
+
+	done := make(chan *DistributedResult, 1)
+	go func() { done <- RunDistributed(pg.Graph, DistributedConfig{P: p, Seed: 7, Journal: j}) }()
+
+	if _, ok := <-sentinel.Events(); !ok {
+		t.Fatal("journal finished before emitting any event")
+	}
+	j.Unsubscribe(sentinel)
+
+	// Connect to the SSE stream mid-run.
+	resp, err := http.Get(srv.URL + "/debug/dinfomap/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := resp.Body.Close(); err != nil {
+			t.Errorf("closing SSE body: %v", err)
+		}
+	}()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("events Content-Type = %q", ct)
+	}
+
+	// Snapshot progress mid-run on the status endpoint.
+	stResp, err := http.Get(srv.URL + "/debug/dinfomap/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var midStatus struct {
+		Schema string `json:"schema"`
+		Ranks  []struct {
+			Rank   int    `json:"rank"`
+			Events int64  `json:"events"`
+			Phase  string `json:"phase"`
+		} `json:"ranks"`
+	}
+	if err := json.NewDecoder(stResp.Body).Decode(&midStatus); err != nil {
+		t.Fatal(err)
+	}
+	if err := stResp.Body.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if midStatus.Schema != "dinfomap-status/v1" {
+		t.Fatalf("status schema = %q", midStatus.Schema)
+	}
+	if len(midStatus.Ranks) != p {
+		t.Fatalf("status has %d ranks, want %d", len(midStatus.Ranks), p)
+	}
+
+	// The stream ends when the run finishes; read it to completion.
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := <-done
+	if res.NumModules < 2 {
+		t.Fatalf("degenerate run: %d modules", res.NumModules)
+	}
+
+	frames := parseSSE(t, string(body))
+	if len(frames) < 2 {
+		t.Fatalf("stream has %d frames, want at least hello+status", len(frames))
+	}
+	if frames[0].event != "hello" {
+		t.Fatalf("first frame is %q, want hello", frames[0].event)
+	}
+	var hello struct {
+		Ranks int `json:"ranks"`
+	}
+	if err := json.Unmarshal([]byte(frames[0].data), &hello); err != nil {
+		t.Fatalf("hello payload: %v", err)
+	}
+	if hello.Ranks != p {
+		t.Fatalf("hello announces %d ranks, want %d", hello.Ranks, p)
+	}
+
+	last := frames[len(frames)-1]
+	if last.event != "status" {
+		t.Fatalf("last frame is %q, want status", last.event)
+	}
+	var final struct {
+		Schema   string `json:"schema"`
+		Finished bool   `json:"finished"`
+		Events   int64  `json:"events"`
+		Ranks    []struct {
+			Events int64 `json:"events"`
+		} `json:"ranks"`
+	}
+	if err := json.Unmarshal([]byte(last.data), &final); err != nil {
+		t.Fatalf("final status payload: %v", err)
+	}
+	if final.Schema != "dinfomap-status/v1" || !final.Finished {
+		t.Fatalf("final status = %+v, want finished dinfomap-status/v1", final)
+	}
+	if len(final.Ranks) != p {
+		t.Fatalf("final status has %d ranks, want %d", len(final.Ranks), p)
+	}
+	for r, rs := range final.Ranks {
+		if rs.Events == 0 {
+			t.Errorf("final status: rank %d emitted no events", r)
+		}
+	}
+
+	// Every span frame between hello and status must be well-formed, and
+	// every rank must appear (the connection landed mid-run, with full
+	// synchronized sweeps still ahead).
+	lastSeq := map[int]int64{}
+	spanRanks := map[int]bool{}
+	for _, f := range frames[1 : len(frames)-1] {
+		if f.event != "span" {
+			t.Fatalf("unexpected frame %q mid-stream", f.event)
+		}
+		var ev struct {
+			Rank    int    `json:"rank"`
+			Seq     int64  `json:"seq"`
+			Stage   int    `json:"stage"`
+			Phase   string `json:"phase"`
+			StartNs int64  `json:"start_ns"`
+			EndNs   int64  `json:"end_ns"`
+		}
+		if err := json.Unmarshal([]byte(f.data), &ev); err != nil {
+			t.Fatalf("span payload %q: %v", f.data, err)
+		}
+		if ev.Rank < 0 || ev.Rank >= p {
+			t.Fatalf("span from rank %d, want 0..%d", ev.Rank, p-1)
+		}
+		if ev.Seq <= lastSeq[ev.Rank] {
+			t.Fatalf("rank %d seq %d not increasing (last %d)", ev.Rank, ev.Seq, lastSeq[ev.Rank])
+		}
+		lastSeq[ev.Rank] = ev.Seq
+		if ev.Phase == "" || ev.Phase == "Unknown" {
+			t.Fatalf("span with phase %q", ev.Phase)
+		}
+		if ev.EndNs < ev.StartNs {
+			t.Fatalf("span ends at %d before start %d", ev.EndNs, ev.StartNs)
+		}
+		if ev.Stage != 1 && ev.Stage != 2 {
+			t.Fatalf("span with stage %d", ev.Stage)
+		}
+		spanRanks[ev.Rank] = true
+	}
+	for r := 0; r < p; r++ {
+		if !spanRanks[r] {
+			t.Errorf("no live span observed from rank %d", r)
+		}
+	}
+
+	// After the run, the post-hoc journal and the final status agree.
+	if got := int64(j.NumEvents()); got != final.Events {
+		t.Fatalf("journal holds %d events, final status reports %d", got, final.Events)
+	}
+}
