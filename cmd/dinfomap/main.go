@@ -18,9 +18,10 @@
 // -pprof wire in the standard Go profilers. The -pprof listener also
 // serves the live run endpoints: /debug/dinfomap/events streams journal
 // events as they happen (Server-Sent Events), /debug/dinfomap/status
-// returns a JSON snapshot of per-rank progress. CPU profiles are
-// labeled per simulated rank; isolate one with
-// go tool pprof -tagfocus rank=3.
+// returns a JSON snapshot of per-rank progress, and
+// /debug/dinfomap/metrics exposes per-rank span and per-kind traffic
+// counters in Prometheus text format. CPU profiles are labeled per
+// simulated rank; isolate one with go tool pprof -tagfocus rank=3.
 package main
 
 import (
@@ -73,7 +74,7 @@ func main() {
 			}
 		}()
 		fmt.Printf("pprof:  http://%s/debug/pprof/\n", *pprofAddr)
-		fmt.Printf("live:   http://%s/debug/dinfomap/events (SSE), .../status (JSON)\n", *pprofAddr)
+		fmt.Printf("live:   http://%s/debug/dinfomap/events (SSE), .../status (JSON), .../metrics (Prometheus)\n", *pprofAddr)
 	}
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)

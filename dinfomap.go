@@ -179,8 +179,10 @@ func WriteChromeTrace(w io.Writer, j *RunJournal) error {
 
 // RegisterRunDebugHandlers mounts the live observability endpoints for
 // j on mux: an SSE stream of journal events as they are emitted
-// (/debug/dinfomap/events) and a JSON status snapshot
-// (/debug/dinfomap/status). Both are safe to hit while RunDistributed
+// (/debug/dinfomap/events), a JSON status snapshot
+// (/debug/dinfomap/status), and a Prometheus text exposition of
+// per-rank span and per-kind traffic counters
+// (/debug/dinfomap/metrics). All are safe to hit while RunDistributed
 // is executing; a slow or stalled consumer never blocks the ranks.
 func RegisterRunDebugHandlers(mux *http.ServeMux, j *RunJournal) {
 	obs.RegisterDebugHandlers(mux, j)

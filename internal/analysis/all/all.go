@@ -7,6 +7,7 @@ import (
 	"dinfomap/internal/analysis"
 	"dinfomap/internal/analysis/anysource"
 	"dinfomap/internal/analysis/closecheck"
+	"dinfomap/internal/analysis/codecsym"
 	"dinfomap/internal/analysis/floateq"
 	"dinfomap/internal/analysis/maporder"
 	"dinfomap/internal/analysis/rankshare"
@@ -23,5 +24,6 @@ func Analyzers() []*analysis.Analyzer {
 		closecheck.Analyzer,
 		rankshare.Analyzer,
 		anysource.Analyzer,
+		codecsym.Analyzer,
 	}
 }

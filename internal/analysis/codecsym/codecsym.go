@@ -1,0 +1,367 @@
+// Package codecsym verifies encode/decode symmetry of the wire codecs:
+// for every message type with encode* methods writing through
+// *mpi.Encoder and decode* functions reading through *mpi.Decoder, the
+// decoder must read exactly the token sequence the encoder writes, in
+// order. Token classes pair the fixed-width codec calls:
+//
+//	PutInt, PutI64  <->  Int, I64
+//	PutU64          <->  U64
+//	PutF64          <->  F64
+//	PutBool         <->  Bool
+//
+// Conditionals are handled by branch-path enumeration: each side
+// contributes the set of token sequences over all if/else paths, and
+// every encode path must equal some decode path and vice versa. This is
+// what keeps the ModuleInfo short form honest — encode and encodeShort
+// are the two encoder paths, decodeModuleInfoMaybeShort's isSent branch
+// supplies the two decoder paths.
+//
+// A pair is checked only when both sides exist in the same package and
+// both are loop-free (per-record codecs; the framing loops live at call
+// sites). Sites that are intentionally asymmetric carry:
+//
+//	//dinfomap:codecsym-ok <why the wire formats still agree>
+package codecsym
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+
+	"dinfomap/internal/analysis"
+)
+
+// Analyzer is the codec-symmetry check.
+var Analyzer = &analysis.Analyzer{
+	Name:        "codecsym",
+	Doc:         "flags encode/decode pairs whose wire token sequences disagree",
+	SuppressKey: "codecsym-ok",
+	Run:         run,
+}
+
+// Canonical token classes. PutInt/PutI64 and Int/I64 are the same
+// 8-byte wire token, so they share a class.
+var (
+	encTokens = map[string]string{
+		"PutInt": "i64", "PutI64": "i64", "PutU64": "u64",
+		"PutF64": "f64", "PutBool": "bool",
+	}
+	decTokens = map[string]string{
+		"Int": "i64", "I64": "i64", "U64": "u64",
+		"F64": "f64", "Bool": "bool",
+	}
+)
+
+// maxPaths bounds branch-path enumeration; codecs beyond it are skipped
+// rather than mis-reported.
+const maxPaths = 32
+
+// codecFn is one analyzed encode or decode function.
+type codecFn struct {
+	decl  *ast.FuncDecl
+	paths [][]string // token sequences, one per branch path
+	ok    bool       // false: contains constructs the enumerator cannot model
+}
+
+func run(pass *analysis.Pass) error {
+	encoders := map[string][]*codecFn{} // message type name -> encode methods
+	decoders := map[string][]*codecFn{} // message type name -> decode funcs
+
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if t := encoderTarget(pass, fd); t != "" {
+				encoders[t] = append(encoders[t], enumerate(pass, fd, encTokens, "Encoder"))
+			} else if t := decoderTarget(pass, fd); t != "" {
+				decoders[t] = append(decoders[t], enumerate(pass, fd, decTokens, "Decoder"))
+			}
+		}
+	}
+
+	types := make([]string, 0, len(encoders))
+	for t := range encoders {
+		if len(decoders[t]) > 0 {
+			types = append(types, t)
+		}
+	}
+	sort.Strings(types)
+
+	for _, t := range types {
+		encs, decs := encoders[t], decoders[t]
+		if !allAnalyzable(encs) || !allAnalyzable(decs) {
+			continue
+		}
+		encPaths, decPaths := pathSet(encs), pathSet(decs)
+		for _, e := range encs {
+			for _, p := range e.paths {
+				if !decPaths[key(p)] {
+					pass.Reportf(e.decl.Name.Pos(),
+						"%s.%s writes token path (%s) that no decoder of %s reads (decode paths: %s)",
+						t, e.decl.Name.Name, key(p), t, describe(decPaths))
+				}
+			}
+		}
+		for _, d := range decs {
+			for _, p := range d.paths {
+				if !encPaths[key(p)] {
+					pass.Reportf(d.decl.Name.Pos(),
+						"%s reads token path (%s) that no encoder of %s writes (encode paths: %s)",
+						d.decl.Name.Name, key(p), t, describe(encPaths))
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// encoderTarget returns the message type name when fd is an encode
+// method: named encode*, declared on a package-local named type, taking
+// a parameter whose type is (a pointer to) a named type "Encoder".
+func encoderTarget(pass *analysis.Pass, fd *ast.FuncDecl) string {
+	if !strings.HasPrefix(fd.Name.Name, "encode") || fd.Recv == nil || len(fd.Recv.List) != 1 {
+		return ""
+	}
+	if !hasParamNamed(pass, fd, "Encoder") {
+		return ""
+	}
+	return namedTypeName(pass.TypesInfo.TypeOf(fd.Recv.List[0].Type))
+}
+
+// decoderTarget returns the message type name when fd is a decode
+// function: named decode*, no receiver, taking a "Decoder" parameter
+// and returning a package-local named struct type.
+func decoderTarget(pass *analysis.Pass, fd *ast.FuncDecl) string {
+	if !strings.HasPrefix(fd.Name.Name, "decode") || fd.Recv != nil {
+		return ""
+	}
+	if !hasParamNamed(pass, fd, "Decoder") || fd.Type.Results == nil {
+		return ""
+	}
+	for _, res := range fd.Type.Results.List {
+		t := pass.TypesInfo.TypeOf(res.Type)
+		name := namedTypeName(t)
+		if name == "" {
+			continue
+		}
+		if named, ok := deref(t).(*types.Named); ok &&
+			named.Obj().Pkg() == pass.Pkg {
+			if _, isStruct := named.Underlying().(*types.Struct); isStruct {
+				return name
+			}
+		}
+	}
+	return ""
+}
+
+func hasParamNamed(pass *analysis.Pass, fd *ast.FuncDecl, typeName string) bool {
+	for _, p := range fd.Type.Params.List {
+		if namedTypeName(pass.TypesInfo.TypeOf(p.Type)) == typeName {
+			return true
+		}
+	}
+	return false
+}
+
+func namedTypeName(t types.Type) string {
+	if named, ok := deref(t).(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return ""
+}
+
+func deref(t types.Type) types.Type {
+	if t == nil {
+		return nil
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}
+
+func allAnalyzable(fns []*codecFn) bool {
+	for _, f := range fns {
+		if !f.ok {
+			return false
+		}
+	}
+	return true
+}
+
+func pathSet(fns []*codecFn) map[string]bool {
+	set := map[string]bool{}
+	for _, f := range fns {
+		for _, p := range f.paths {
+			set[key(p)] = true
+		}
+	}
+	return set
+}
+
+func key(tokens []string) string { return strings.Join(tokens, " ") }
+
+func describe(set map[string]bool) string {
+	keys := make([]string, 0, len(set))
+	for k := range set {
+		keys = append(keys, "("+k+")")
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, ", ")
+}
+
+// ---- branch-path enumeration ----
+
+// path is one partial execution trace through a codec body.
+type path struct {
+	tokens []string
+	done   bool // hit a return; later statements no longer contribute
+}
+
+func (p path) extend(tokens []string) path {
+	if len(tokens) == 0 {
+		return p
+	}
+	out := make([]string, 0, len(p.tokens)+len(tokens))
+	out = append(out, p.tokens...)
+	out = append(out, tokens...)
+	return path{tokens: out, done: p.done}
+}
+
+type enumerator struct {
+	pass     *analysis.Pass
+	tokens   map[string]string // method name -> token class
+	recvName string            // "Encoder" or "Decoder"
+	bad      bool
+}
+
+// enumerate walks fd's body and returns its token sequences over all
+// if/else branch paths.
+func enumerate(pass *analysis.Pass, fd *ast.FuncDecl, tokens map[string]string, recvName string) *codecFn {
+	en := &enumerator{pass: pass, tokens: tokens, recvName: recvName}
+	paths := en.stmts(fd.Body.List, []path{{}})
+	fn := &codecFn{decl: fd, ok: !en.bad && len(paths) <= maxPaths}
+	for _, p := range paths {
+		fn.paths = append(fn.paths, p.tokens)
+	}
+	return fn
+}
+
+func (en *enumerator) stmts(list []ast.Stmt, in []path) []path {
+	for _, s := range list {
+		in = en.stmt(s, in)
+		if en.bad || len(in) > maxPaths {
+			en.bad = true
+			return in
+		}
+	}
+	return in
+}
+
+func (en *enumerator) stmt(s ast.Stmt, in []path) []path {
+	switch st := s.(type) {
+	case *ast.ExprStmt, *ast.AssignStmt, *ast.DeclStmt, *ast.IncDecStmt, *ast.SendStmt:
+		return en.applyTokens(in, en.exprTokens(s))
+	case *ast.ReturnStmt:
+		out := en.applyTokens(in, en.exprTokens(s))
+		for i := range out {
+			out[i].done = true
+		}
+		return out
+	case *ast.BlockStmt:
+		return en.stmts(st.List, in)
+	case *ast.IfStmt:
+		in = en.applyTokens(in, en.exprTokens(st.Init))
+		in = en.applyTokens(in, en.exprTokensExpr(st.Cond))
+		thenPaths := en.branch(st.Body, in)
+		elsePaths := in
+		if st.Else != nil {
+			elsePaths = en.stmt(st.Else, clonePaths(in))
+		}
+		return append(thenPaths, elsePaths...)
+	default:
+		// Loops, switches, gotos: fine as long as no codec tokens hide
+		// inside (framing loops belong at call sites, not in per-record
+		// codecs). Tokens inside mean we cannot order them — give up.
+		if len(en.subtreeTokens(s)) > 0 {
+			en.bad = true
+		}
+		return in
+	}
+}
+
+func (en *enumerator) branch(body *ast.BlockStmt, in []path) []path {
+	return en.stmts(body.List, clonePaths(in))
+}
+
+func clonePaths(in []path) []path {
+	out := make([]path, len(in))
+	copy(out, in) // token slices are copy-on-extend, sharing is safe
+	return out
+}
+
+func (en *enumerator) applyTokens(in []path, tokens []string) []path {
+	if len(tokens) == 0 {
+		return in
+	}
+	out := make([]path, len(in))
+	for i, p := range in {
+		if p.done {
+			out[i] = p
+		} else {
+			out[i] = p.extend(tokens)
+		}
+	}
+	return out
+}
+
+// exprTokens collects codec token calls under a statement in source
+// order (matching evaluation order for the argument-free codec calls).
+func (en *enumerator) exprTokens(n ast.Node) []string {
+	if n == nil {
+		return nil
+	}
+	return en.subtreeTokens(n)
+}
+
+func (en *enumerator) exprTokensExpr(e ast.Expr) []string {
+	if e == nil {
+		return nil
+	}
+	return en.subtreeTokens(e)
+}
+
+func (en *enumerator) subtreeTokens(n ast.Node) []string {
+	var out []string
+	ast.Inspect(n, func(node ast.Node) bool {
+		call, ok := node.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if tok := en.tokenOf(call); tok != "" {
+			out = append(out, tok)
+		}
+		return true
+	})
+	return out
+}
+
+// tokenOf returns the token class of a codec call like e.PutInt(x) or
+// d.F64(), or "" for anything else.
+func (en *enumerator) tokenOf(call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	tok, ok := en.tokens[sel.Sel.Name]
+	if !ok {
+		return ""
+	}
+	if namedTypeName(en.pass.TypesInfo.TypeOf(sel.X)) != en.recvName {
+		return ""
+	}
+	return tok
+}

@@ -1,0 +1,12 @@
+package codecsym_test
+
+import (
+	"testing"
+
+	"dinfomap/internal/analysis/analysistest"
+	"dinfomap/internal/analysis/codecsym"
+)
+
+func TestCodecSym(t *testing.T) {
+	analysistest.Run(t, "testdata", codecsym.Analyzer, "codec")
+}

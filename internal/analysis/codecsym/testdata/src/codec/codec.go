@@ -1,0 +1,150 @@
+// Package codec exercises the codecsym analyzer: local stand-ins for
+// mpi.Encoder/Decoder (matched by type name) plus message types with
+// symmetric, asymmetric, branchy, and unanalyzable codecs.
+package codec
+
+type Encoder struct{ buf []byte }
+
+func (e *Encoder) PutInt(v int)     {}
+func (e *Encoder) PutI64(v int64)   {}
+func (e *Encoder) PutU64(v uint64)  {}
+func (e *Encoder) PutF64(v float64) {}
+func (e *Encoder) PutBool(v bool)   {}
+
+type Decoder struct{ off int }
+
+func (d *Decoder) Int() int     { return 0 }
+func (d *Decoder) I64() int64   { return 0 }
+func (d *Decoder) U64() uint64  { return 0 }
+func (d *Decoder) F64() float64 { return 0 }
+func (d *Decoder) Bool() bool   { return false }
+
+// ---- symmetric pair: no diagnostics ----
+
+type good struct {
+	ID     int
+	Weight float64
+}
+
+func (g good) encode(e *Encoder) {
+	e.PutInt(g.ID)
+	e.PutF64(g.Weight)
+}
+
+func decodeGood(d *Decoder) good {
+	return good{ID: d.Int(), Weight: d.F64()}
+}
+
+// ---- PutInt and I64 share a token class: no diagnostics ----
+
+type aliased struct {
+	A int
+	B int64
+}
+
+func (a aliased) encode(e *Encoder) {
+	e.PutInt(a.A)
+	e.PutI64(a.B)
+}
+
+func decodeAliased(d *Decoder) aliased {
+	return aliased{A: int(d.I64()), B: int64(d.Int())}
+}
+
+// ---- short-form branching: encoder paths match decoder paths ----
+
+type maybeShort struct {
+	ID    int
+	Stats float64
+	Sent  bool
+}
+
+func (m maybeShort) encode(e *Encoder) {
+	e.PutBool(false)
+	e.PutInt(m.ID)
+	e.PutF64(m.Stats)
+}
+
+func (m maybeShort) encodeShort(e *Encoder) {
+	e.PutBool(true)
+	e.PutInt(m.ID)
+}
+
+func decodeMaybeShort(d *Decoder) maybeShort {
+	if d.Bool() {
+		return maybeShort{ID: d.Int(), Sent: true}
+	}
+	return maybeShort{ID: d.Int(), Stats: d.F64()}
+}
+
+// ---- asymmetric pair: decoder skips a field ----
+
+type dropped struct {
+	ID     int
+	Extra  uint64
+	Weight float64
+}
+
+func (r dropped) encode(e *Encoder) { // want `dropped\.encode writes token path \(i64 u64 f64\) that no decoder of dropped reads`
+	e.PutInt(r.ID)
+	e.PutU64(r.Extra)
+	e.PutF64(r.Weight)
+}
+
+func decodeDropped(d *Decoder) dropped { // want `decodeDropped reads token path \(i64 f64\) that no encoder of dropped writes`
+	return dropped{ID: d.Int(), Weight: d.F64()}
+}
+
+// ---- asymmetric branch: decoder has a path no encoder produces ----
+
+type lopsided struct {
+	ID   int
+	Flag bool
+}
+
+func (l lopsided) encode(e *Encoder) {
+	e.PutBool(l.Flag)
+	e.PutInt(l.ID)
+}
+
+func decodeLopsided(d *Decoder) lopsided { // want `decodeLopsided reads token path \(bool i64 i64\) that no encoder of lopsided writes`
+	if d.Bool() {
+		return lopsided{ID: d.Int(), Flag: true}
+	}
+	return lopsided{ID: d.Int() + d.Int()}
+}
+
+// ---- suppressed: intentional asymmetry with a justification ----
+
+type padded struct{ ID int }
+
+//dinfomap:codecsym-ok trailing pad word is skipped via Remaining() at call sites
+func (p padded) encode(e *Encoder) {
+	e.PutInt(p.ID)
+	e.PutU64(0)
+}
+
+//dinfomap:codecsym-ok trailing pad word is skipped via Remaining() at call sites
+func decodePadded(d *Decoder) padded {
+	return padded{ID: d.Int()}
+}
+
+// ---- loop-bearing codec: skipped, not mis-reported ----
+
+type varlen struct{ Vals []int }
+
+func (v varlen) encode(e *Encoder) {
+	e.PutInt(len(v.Vals))
+	for _, x := range v.Vals {
+		e.PutInt(x)
+	}
+}
+
+func decodeVarlen(d *Decoder) varlen {
+	n := d.Int()
+	out := varlen{Vals: make([]int, n)}
+	for i := range out.Vals {
+		out.Vals[i] = d.Int()
+	}
+	return out
+}

@@ -120,6 +120,13 @@ type Result struct {
 	// PerRankEvals[r] is rank r's delta-L evaluation count.
 	PerRankEvals []int64
 
+	// PerRankIterations[r] is rank r's per-outer-iteration cost/traffic
+	// slices (stage 1 is outer 0, each merged level adds one): cumulative
+	// counters diffed at iteration boundaries, never reset. The final
+	// full-assignment gather happens after the last iteration, so the
+	// slices sum to slightly less than CommStats[r].
+	PerRankIterations [][]obs.IterationReport
+
 	// CommStats is each rank's cumulative traffic.
 	CommStats []mpi.Stats
 	// MaxRankBytes is the largest per-rank total byte count.
@@ -180,6 +187,7 @@ func Run(g *graph.Graph, cfg Config) *Result {
 		perRankWall1:       make([]time.Duration, cfg.P),
 		perRankWall2:       make([]time.Duration, cfg.P),
 		perRankEvals:       make([]int64, cfg.P),
+		perRankIters:       make([][]obs.IterationReport, cfg.P),
 	}
 	stats := mpi.Run(cfg.P, runner.rankMain)
 	// End the live stream: subscribers drain their rings and receive
@@ -214,6 +222,7 @@ type runState struct {
 	perRankWall1       []time.Duration
 	perRankWall2       []time.Duration
 	perRankEvals       []int64
+	perRankIters       [][]obs.IterationReport
 
 	out rankOutput
 }
@@ -258,6 +267,7 @@ func (rs *runState) finish(res *Result) {
 	res.PerRankWall1 = rs.perRankWall1
 	res.PerRankWall2 = rs.perRankWall2
 	res.PerRankEvals = rs.perRankEvals
+	res.PerRankIterations = rs.perRankIters
 
 	// Wall times: the slowest rank gates each stage.
 	for r := 0; r < rs.cfg.P; r++ {

@@ -17,6 +17,9 @@ func stripWallTimes(rep *obs.Report) {
 	for i := range rep.Ranks {
 		rep.Ranks[i].Wall1Ns = 0
 		rep.Ranks[i].Wall2Ns = 0
+		for k := range rep.Ranks[i].Iterations {
+			rep.Ranks[i].Iterations[k].WallNs = 0
+		}
 	}
 }
 

@@ -29,6 +29,9 @@ func (lv *level) broadcastDelegates(cands []hubCandidate) int {
 	if lv.isHub == nil {
 		return 0
 	}
+	// Both allgather rounds carry delegate-move traffic.
+	prevKind := lv.c.SetKind(mpi.KindHubCandidate)
+	defer lv.c.SetKind(prevKind)
 	// ---- Round A: propose ----
 	e := mpi.NewEncoder(len(cands) * 24)
 	for _, hc := range cands {
@@ -173,6 +176,8 @@ func (lv *level) localHubWeights(h, target, from int) (wTo, wFrom float64) {
 // number of ghost updates shipped, which the event journal records as
 // the phase's swap count.
 func (lv *level) swapGhostComms() (sent int) {
+	prevKind := lv.c.SetKind(mpi.KindGhostUpdate)
+	defer lv.c.SetKind(prevKind)
 	encs := make([]*mpi.Encoder, lv.p)
 	for _, v := range lv.subList {
 		gu := ghostUpdate{Vertex: v, Comm: lv.comm[v]}
@@ -217,6 +222,10 @@ func (lv *level) refresh(costs phaseCosts, iter int32) (numModules int64) {
 	j1 := lv.jlog.Now()
 	before := lv.c.Stats()
 	lv.timer.Start(trace.PhaseRefreshRound1)
+	// Round 1 ships module partials; round 2 answers with authoritative
+	// Module_Info; the closing MDL reduction is a control collective.
+	prevKind := lv.c.SetKind(mpi.KindModulePartial)
+	defer lv.c.SetKind(prevKind)
 
 	// ---- Local partials ----
 	partials := make(map[int]*modulePartial)
@@ -376,6 +385,7 @@ func (lv *level) refresh(costs phaseCosts, iter int32) (numModules int64) {
 	j2 := lv.jlog.Now()
 	before = lv.c.Stats()
 	lv.timer.Start(trace.PhaseRefreshRound2)
+	lv.c.SetKind(mpi.KindModuleInfo)
 
 	// ---- Round 2: authoritative stats back to subscribers ----
 	encs = make([]*mpi.Encoder, lv.p)
@@ -457,6 +467,7 @@ func (lv *level) refresh(costs phaseCosts, iter int32) (numModules int64) {
 		part[2] += mapeq.PlogP(mod.ExitPr + mod.SumPr)
 	}
 	part[3] = float64(numModules)
+	lv.c.SetKind(mpi.KindCollective)
 	tot := lv.c.AllreduceSumF64s(part[:])
 	lv.agg = mapeq.Aggregates{
 		QTotal:     tot[0],

@@ -22,6 +22,8 @@ func (lv *level) mergeShuffle(costs phaseCosts) []mergedArc {
 	j0 := lv.jlog.Now()
 	before := lv.c.Stats()
 	lv.timer.Start(trace.PhaseMergeShuffle)
+	prevKind := lv.c.SetKind(mpi.KindMergeShuffle)
+	defer lv.c.SetKind(prevKind)
 
 	// Contract local arcs and pre-accumulate per destination pair to
 	// keep the shuffle payload small.
@@ -116,6 +118,8 @@ func (lv *level) mergeShuffle(costs phaseCosts) []mergedArc {
 // onto deeper state. The merged levels this runs on are small, which is
 // why the paper switches to plain 1D partitioning after the first merge.
 func (lv *level) gatherAssignments() map[int]int {
+	prevKind := lv.c.SetKind(mpi.KindAssignment)
+	defer lv.c.SetKind(prevKind)
 	e := mpi.NewEncoder(len(lv.ownedActive) * 16)
 	for _, u := range lv.ownedActive {
 		e.PutInt(u)

@@ -43,7 +43,9 @@ type clusterOutcome struct {
 // moves a vertex. costs receives this rank's per-phase work/traffic.
 func (lv *level) cluster(costs phaseCosts) clusterOutcome {
 	out := clusterOutcome{}
+	prevKind := lv.c.SetKind(mpi.KindCollective)
 	out.liveBefore = lv.c.AllreduceI64(int64(len(lv.ownedActive)), mpi.OpSum)
+	lv.c.SetKind(prevKind)
 
 	// Iteration-0 refresh: exact singleton aggregates everywhere.
 	// refresh journals its two Module_Info rounds as first-class spans.
@@ -108,7 +110,9 @@ func (lv *level) cluster(costs phaseCosts) clusterOutcome {
 		lv.timer.Start(trace.PhaseOther)
 		jt = lv.jlog.Now()
 		before = lv.c.Stats()
+		prevKind := lv.c.SetKind(mpi.KindCollective)
 		total := lv.c.AllreduceI64(int64(moves+hubMoves+deferred), mpi.OpSum)
+		lv.c.SetKind(prevKind)
 		msgs, bytes = commDelta(before, lv.c.Stats())
 		lv.timer.Stop(trace.PhaseOther)
 		costs.add(trace.PhaseOther, trace.RankCost{Msgs: msgs, Bytes: bytes})
@@ -117,6 +121,8 @@ func (lv *level) cluster(costs phaseCosts) clusterOutcome {
 			Phase: obs.PhaseOther, Start: jt, End: lv.jlog.Now(),
 			Msgs: msgs, Bytes: bytes,
 		})
+		// Refresh the live comm snapshot once per synchronized sweep.
+		lv.jlog.PublishComm(lv.c.Stats())
 
 		out.iterations++
 		if total == 0 {
@@ -172,12 +178,48 @@ func (rs *runState) rankBody(c *mpi.Comm) {
 	cfg := rs.cfg
 	rank := c.Rank()
 	p := c.Size()
+	jlog := cfg.Journal.Rank(rank)
+
+	// Per-outer-iteration slices: cumulative counters snapshotted at
+	// iteration boundaries and diffed (never reset — live observers keep
+	// seeing monotone totals). Outer 0 is stage 1 and includes its
+	// preprocessing exchanges; each merged level adds one slice through
+	// its assignment projection. The final full-assignment gather falls
+	// after the last slice.
+	var iterRecs []obs.IterationReport
+	var commMark mpi.Stats
+	var evalMark int64
+	iterStart := time.Now()
+	emitIter := func(stage, outer, sweeps int, evalsCum int64) {
+		cum := c.Stats()
+		d := cum.Sub(commMark)
+		commMark = cum
+		wall := time.Since(iterStart)
+		iterStart = time.Now()
+		ops := evalsCum - evalMark
+		evalMark = evalsCum
+		iterRecs = append(iterRecs, obs.IterationReport{
+			Outer: outer, Stage: stage, Sweeps: sweeps, Ops: ops,
+			WallNs:     wall.Nanoseconds(),
+			Comm:       obs.CommFromStats(d),
+			CommByKind: obs.ByKindFromStats(d),
+		})
+		// Journal boundary marker: zero-duration so per-rank span start
+		// times stay monotone; counters carry the iteration delta.
+		now := jlog.Now()
+		jlog.Emit(obs.Event{
+			Stage: uint8(stage), Outer: uint16(outer), Iter: -1,
+			Phase: obs.PhaseOuterIter, Start: now, End: now,
+			Ops: ops, Msgs: d.MsgsSent + d.CollectiveMsgs,
+			Bytes: d.BytesSent + d.CollectiveBytes,
+		})
+		jlog.PublishComm(cum)
+	}
 
 	// ---- Stage 1: parallel clustering with delegates ----
 	flow := rs.flow
 	lv := newStage1Level(c, cfg, rs.layout, flow.P, flow.Exit, flow.Norm(),
 		flow.SumPlogpP, cfg.Seed)
-	jlog := cfg.Journal.Rank(rank)
 	lv.jlog, lv.jstage = jlog, 1
 
 	costs1 := make(phaseCosts)
@@ -191,6 +233,7 @@ func (rs *runState) rankBody(c *mpi.Comm) {
 	mergeRate := []float64{float64(oc.liveBefore-oc.numModules) / float64(n0)}
 	iters1 := oc.iterations
 	deltaEvals := lv.deltaEvals
+	emitIter(1, 0, iters1, deltaEvals)
 
 	// Projection bookkeeping: this rank's owned original vertices.
 	ownedOrig := make([]int, 0, lv.idSpace/p+1)
@@ -230,6 +273,7 @@ func (rs *runState) rankBody(c *mpi.Comm) {
 		}
 		mdlTrace = append(mdlTrace, oc.finalL)
 		mergeRate = append(mergeRate, float64(oc.liveBefore-oc.numModules)/float64(n0))
+		emitIter(2, outer, oc.iterations, deltaEvals)
 		improved := prevL - oc.finalL
 		noMerge := oc.numModules == oc.liveBefore
 		prevL = oc.finalL
@@ -242,12 +286,16 @@ func (rs *runState) rankBody(c *mpi.Comm) {
 	wall2 := time.Since(t0)
 
 	// ---- Final gather: full assignment of original vertices ----
+	prevKind := c.SetKind(mpi.KindAssignment)
 	e := mpi.NewEncoder(len(ownedOrig) * 16)
 	for i, u := range ownedOrig {
 		e.PutInt(u)
 		e.PutInt(origComm[i])
 	}
 	parts := c.AllgatherBytes(e.Bytes())
+	c.SetKind(prevKind)
+	// Final cumulative snapshot for live observers (metrics scrape).
+	jlog.PublishComm(c.Stats())
 	full := make([]int, idSpace)
 	for _, b := range parts {
 		d := mpi.NewDecoder(b)
@@ -273,6 +321,7 @@ func (rs *runState) rankBody(c *mpi.Comm) {
 	rs.perRankWall1[rank] = wall1
 	rs.perRankWall2[rank] = wall2
 	rs.perRankEvals[rank] = deltaEvals
+	rs.perRankIters[rank] = iterRecs
 	if rank == 0 {
 		rs.out.communities = full
 		rs.out.mdlTrace = mdlTrace

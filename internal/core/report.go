@@ -107,9 +107,14 @@ func BuildReport(g *graph.Graph, cfg Config, res *Result) *obs.Report {
 		}
 		if r < len(res.CommStats) {
 			rr.Comm = obs.CommFromStats(res.CommStats[r])
+			rr.CommByKind = obs.ByKindFromStats(res.CommStats[r])
+		}
+		if r < len(res.PerRankIterations) {
+			rr.Iterations = res.PerRankIterations[r]
 		}
 		rep.Ranks = append(rep.Ranks, rr)
 	}
+	rep.Comms = obs.BuildComms(res.CommStats)
 	return rep
 }
 

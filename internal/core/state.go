@@ -172,7 +172,9 @@ func (lv *level) initLocalState() {
 			bufs[r] = e.Bytes()
 		}
 	}
+	prevKind := lv.c.SetKind(mpi.KindSetup)
 	recv := lv.c.Alltoallv(bufs)
+	lv.c.SetKind(prevKind)
 	lv.subscribers = make(map[int][]int)
 	for src, b := range recv {
 		d := mpi.NewDecoder(b)
@@ -348,7 +350,9 @@ func newMergedLevel(c *mpi.Comm, cfg *Config, idSpace int, arcs []mergedArc,
 		e.PutF64(strength)
 		e.PutF64(selfW)
 	}
+	prevKind := lv.c.SetKind(mpi.KindSetup)
 	parts := lv.c.AllgatherBytes(e.Bytes())
+	lv.c.SetKind(prevKind)
 	lv.visit = make([]float64, idSpace)
 	lv.exitP = make([]float64, idSpace)
 	totalStrength := 0.0

@@ -136,20 +136,19 @@ func (c *Comm) Alltoallv(bufs [][]byte) [][]byte {
 	if len(bufs) != c.size {
 		panic(fmt.Sprintf("mpi: Alltoallv with %d buffers for %d ranks", len(bufs), c.size))
 	}
-	sent := 0
+	sent, sentMsgs := 0, int64(0)
 	for dst, b := range bufs {
 		if dst != c.rank {
 			sent += len(b)
 			if len(b) > 0 {
-				c.stats.MsgsSent++
+				sentMsgs++
 			}
 		}
 	}
-	c.stats.BytesSent += int64(sent)
 	c.w.a2a[c.rank] = bufs
 	c.sync()
 	out := make([][]byte, c.size)
-	recvd := 0
+	recvd, recvMsgs := 0, int64(0)
 	for src := 0; src < c.size; src++ {
 		var b []byte
 		if c.w.a2a[src] != nil {
@@ -161,11 +160,11 @@ func (c *Comm) Alltoallv(bufs [][]byte) [][]byte {
 		if src != c.rank {
 			recvd += len(b)
 			if len(b) > 0 {
-				c.stats.MsgsRecv++
+				recvMsgs++
 			}
 		}
 	}
-	c.stats.BytesRecv += int64(recvd)
+	c.countExchange(c.kind, sentMsgs, int64(sent), recvMsgs, int64(recvd))
 	c.sync()
 	return out
 }

@@ -1,0 +1,195 @@
+package mpi
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestTagForKindRoundTrip(t *testing.T) {
+	for k := Kind(0); int(k) < NumKinds; k++ {
+		for _, tag := range []int{0, 1, 7, 1<<kindShift - 1} {
+			packed := TagFor(k, tag)
+			if got := KindOfTag(packed); got != k && !(k == KindOther && got == KindOther) {
+				t.Fatalf("KindOfTag(TagFor(%v, %d)) = %v", k, tag, got)
+			}
+		}
+	}
+	// Plain small tags (no kind bits) classify as KindOther.
+	for _, tag := range []int{0, 1, 42, 99, 1<<kindShift - 1} {
+		if got := KindOfTag(tag); got != KindOther {
+			t.Fatalf("KindOfTag(%d) = %v, want KindOther", tag, got)
+		}
+	}
+	// Out-of-range kind bits fall back to KindOther instead of indexing
+	// past ByKind.
+	if got := KindOfTag(NumKinds << kindShift); got != KindOther {
+		t.Fatalf("KindOfTag(out of range) = %v, want KindOther", got)
+	}
+	if got := KindOfTag(-1); got != KindOther {
+		t.Fatalf("KindOfTag(-1) = %v, want KindOther", got)
+	}
+}
+
+func TestKindNamesStable(t *testing.T) {
+	names := KindNames()
+	if len(names) != NumKinds {
+		t.Fatalf("KindNames has %d entries, want %d", len(names), NumKinds)
+	}
+	seen := map[string]bool{}
+	for k, n := range names {
+		if n == "" {
+			t.Fatalf("kind %d has empty name", k)
+		}
+		if seen[n] {
+			t.Fatalf("duplicate kind name %q", n)
+		}
+		seen[n] = true
+		if Kind(k).String() != n {
+			t.Fatalf("Kind(%d).String() = %q, want %q", k, Kind(k).String(), n)
+		}
+	}
+	if KindOther.String() != "other" {
+		t.Fatalf("zero kind is %q, want other", KindOther.String())
+	}
+}
+
+// TestKindConservation is the per-kind conservation property test: on a
+// multi-rank run mixing tagged p2p, ambient-kind p2p, collectives under
+// several ambient kinds, and alltoallv exchanges, every rank's kind
+// buckets must sum to its aggregate totals on every field.
+func TestKindConservation(t *testing.T) {
+	const p = 4
+	stats := Run(p, func(c *Comm) {
+		me := c.Rank()
+		next := (me + 1) % p
+		prev := (me + p - 1) % p
+
+		// Tag-derived kinds.
+		c.Send(next, TagFor(KindGhostUpdate, 1), make([]byte, 16+me))
+		c.Recv(prev, TagFor(KindGhostUpdate, 1))
+
+		// Ambient-kind p2p (plain tag, kind from SetKind).
+		restore := c.SetKind(KindModuleInfo)
+		c.Send(next, 2, make([]byte, 33))
+		c.Recv(prev, 2)
+		c.SetKind(restore)
+
+		// Collectives under different ambient kinds.
+		k := c.SetKind(KindCollective)
+		c.Barrier()
+		c.AllreduceI64(int64(me), OpSum)
+		c.SetKind(KindModulePartial)
+		bufs := make([][]byte, p)
+		for dst := range bufs {
+			if dst != me {
+				bufs[dst] = make([]byte, 8*(dst+1))
+			}
+		}
+		c.Alltoallv(bufs)
+		c.SetKind(KindAssignment)
+		c.AllgatherBytes(make([]byte, 24))
+		c.SetKind(k)
+
+		// Untagged traffic lands in KindOther.
+		c.Send(next, 3, make([]byte, 5))
+		c.Recv(prev, 3)
+	})
+
+	for r, s := range stats {
+		if !s.Conserved() {
+			t.Errorf("rank %d: kind buckets do not sum to totals:\nsums   %+v\ntotals %+v",
+				r, s.KindSums(), s)
+		}
+		// Spot-check attribution: the tagged p2p went to ghost_update,
+		// the ambient p2p to module_info, the alltoallv to
+		// module_partial, and the plain-tag p2p to other.
+		if got := s.ByKind[KindGhostUpdate].MsgsSent; got != 1 {
+			t.Errorf("rank %d: ghost_update MsgsSent = %d, want 1", r, got)
+		}
+		if got := s.ByKind[KindModuleInfo].BytesSent; got != 33 {
+			t.Errorf("rank %d: module_info BytesSent = %d, want 33", r, got)
+		}
+		if got := s.ByKind[KindModulePartial].MsgsSent; got != 3 {
+			t.Errorf("rank %d: module_partial MsgsSent = %d, want 3", r, got)
+		}
+		if got := s.ByKind[KindCollective].Collectives; got != 2 {
+			t.Errorf("rank %d: collective Collectives = %d, want 2 (barrier+allreduce)", r, got)
+		}
+		if got := s.ByKind[KindAssignment].Collectives; got != 1 {
+			t.Errorf("rank %d: assignment Collectives = %d, want 1", r, got)
+		}
+		if got := s.ByKind[KindOther].BytesSent; got != 5 {
+			t.Errorf("rank %d: other BytesSent = %d, want 5", r, got)
+		}
+	}
+}
+
+// TestStatsSnapshotConcurrent locks in the Comm.Stats data-race fix:
+// observers snapshot a rank's counters while the rank is actively
+// communicating. Run under -race this fails on any unsynchronized
+// counter access; in all modes every snapshot must be conserved (a torn
+// read would break the kind-sum invariant).
+func TestStatsSnapshotConcurrent(t *testing.T) {
+	const p = 2
+	const rounds = 500
+	comms := make(chan *Comm, p)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		// Observer: hammer Stats() on both ranks mid-run.
+		seen := 0
+		for c := range comms {
+			for i := 0; i < 2*rounds; i++ {
+				s := c.Stats()
+				if !s.Conserved() {
+					t.Errorf("torn snapshot: %+v", s)
+					return
+				}
+			}
+			seen++
+		}
+		if seen != p {
+			t.Errorf("observer saw %d comms, want %d", seen, p)
+		}
+	}()
+	Run(p, func(c *Comm) {
+		comms <- c
+		peer := (c.Rank() + 1) % p
+		c.SetKind(KindGhostUpdate)
+		for i := 0; i < rounds; i++ {
+			c.Send(peer, TagFor(KindModuleInfo, i%16), make([]byte, 64))
+			c.Recv(peer, TagFor(KindModuleInfo, i%16))
+			c.AllreduceI64(1, OpSum)
+		}
+	})
+	close(comms)
+	wg.Wait()
+}
+
+func TestStatsSubByKind(t *testing.T) {
+	var before, after Stats
+	before.ByKind[KindModuleInfo] = KindStats{BytesSent: 10, MsgsSent: 1}
+	before.BytesSent, before.MsgsSent = 10, 1
+	after.ByKind[KindModuleInfo] = KindStats{BytesSent: 25, MsgsSent: 2}
+	after.ByKind[KindGhostUpdate] = KindStats{BytesRecv: 7, MsgsRecv: 1}
+	after.BytesSent, after.MsgsSent = 25, 2
+	after.BytesRecv, after.MsgsRecv = 7, 1
+
+	d := after.Sub(before)
+	if got := d.ByKind[KindModuleInfo]; got != (KindStats{BytesSent: 15, MsgsSent: 1}) {
+		t.Fatalf("module_info delta = %+v", got)
+	}
+	if got := d.ByKind[KindGhostUpdate]; got != (KindStats{BytesRecv: 7, MsgsRecv: 1}) {
+		t.Fatalf("ghost_update delta = %+v", got)
+	}
+	if !d.Conserved() {
+		t.Fatalf("delta not conserved: %+v", d)
+	}
+	// Sub then Add round-trips, per-kind buckets included.
+	sum := before
+	sum.Add(d)
+	if sum != after {
+		t.Fatalf("before + delta = %+v, want %+v", sum, after)
+	}
+}

@@ -119,23 +119,39 @@ func (w *World) poisonWith(err error) {
 	w.once.Do(func() { close(w.poison) })
 }
 
-// Comm is one rank's endpoint into a World. Not safe for concurrent use
-// by multiple goroutines (like an MPI communicator handle).
+// Comm is one rank's endpoint into a World. Communication methods are
+// not safe for concurrent use by multiple goroutines (like an MPI
+// communicator handle), but Stats may be called from any goroutine —
+// live observers snapshot a running rank's counters through it.
 type Comm struct {
 	rank, size int
 	w          *World
-	stats      Stats
+
+	// statsMu guards stats: the rank goroutine mutates the counters on
+	// every operation while observers (status/metrics endpoints) take
+	// snapshots concurrently.
+	statsMu sync.Mutex
+	stats   Stats
+	// kind is the ambient attribution for collectives and for p2p tags
+	// without kind bits; see SetKind. Only the rank goroutine touches it.
+	kind Kind
 }
 
 // Stats counts one rank's traffic. Collective* fields use the
 // recursive-doubling model: each collective costs ceil(log2 p) messages
-// of the payload size.
+// of the payload size. ByKind splits every counter by message kind;
+// each increment lands in the totals and in exactly one kind bucket, so
+// for every field the kind sum equals the total (Conserved). Stats is a
+// comparable value type: snapshots copy.
 type Stats struct {
 	BytesSent, BytesRecv int64
 	MsgsSent, MsgsRecv   int64
 	Collectives          int64
 	CollectiveBytes      int64 // modeled: payload * ceil(log2 p) per call
 	CollectiveMsgs       int64 // modeled: ceil(log2 p) per call
+
+	// ByKind is the per-kind breakdown, indexed by Kind.
+	ByKind [NumKinds]KindStats
 }
 
 // Add accumulates other into s.
@@ -147,13 +163,17 @@ func (s *Stats) Add(other Stats) {
 	s.Collectives += other.Collectives
 	s.CollectiveBytes += other.CollectiveBytes
 	s.CollectiveMsgs += other.CollectiveMsgs
+	for k := range s.ByKind {
+		s.ByKind[k].add(other.ByKind[k])
+	}
 }
 
 // Sub returns the field-wise delta s - prev between two snapshots of
 // the same rank's counters; telemetry uses it to attribute traffic to
-// the phase between the snapshots.
+// the phase between the snapshots. The per-kind buckets diff too, so a
+// phase slice carries its own kind breakdown.
 func (s Stats) Sub(prev Stats) Stats {
-	return Stats{
+	out := Stats{
 		BytesSent:       s.BytesSent - prev.BytesSent,
 		BytesRecv:       s.BytesRecv - prev.BytesRecv,
 		MsgsSent:        s.MsgsSent - prev.MsgsSent,
@@ -162,6 +182,10 @@ func (s Stats) Sub(prev Stats) Stats {
 		CollectiveBytes: s.CollectiveBytes - prev.CollectiveBytes,
 		CollectiveMsgs:  s.CollectiveMsgs - prev.CollectiveMsgs,
 	}
+	for k := range s.ByKind {
+		out.ByKind[k] = s.ByKind[k].sub(prev.ByKind[k])
+	}
+	return out
 }
 
 // TotalBytes returns all bytes attributed to this rank (p2p + modeled
@@ -176,12 +200,85 @@ func (c *Comm) Rank() int { return c.rank }
 // Size returns the number of ranks in the world.
 func (c *Comm) Size() int { return c.size }
 
-// Stats returns a snapshot of this rank's traffic counters.
-func (c *Comm) Stats() Stats { return c.stats }
+// Stats returns a snapshot of this rank's traffic counters. Unlike the
+// communication methods it is safe to call from any goroutine, so live
+// observers can sample a rank mid-run without racing its counters.
+func (c *Comm) Stats() Stats {
+	c.statsMu.Lock()
+	defer c.statsMu.Unlock()
+	return c.stats
+}
 
 // ResetStats zeroes the traffic counters (used to attribute traffic to
 // phases).
-func (c *Comm) ResetStats() { c.stats = Stats{} }
+func (c *Comm) ResetStats() {
+	c.statsMu.Lock()
+	defer c.statsMu.Unlock()
+	c.stats = Stats{}
+}
+
+// SetKind sets the ambient message kind and returns the previous one.
+// Collectives (which carry no tag) and p2p messages whose tag has no
+// kind bits are attributed to the ambient kind. The intended idiom
+// brackets a protocol phase:
+//
+//	prev := c.SetKind(mpi.KindGhostUpdate)
+//	defer c.SetKind(prev)
+//
+// Only the rank goroutine may call SetKind (same contract as the
+// communication methods).
+func (c *Comm) SetKind(k Kind) (prev Kind) {
+	prev = c.kind
+	if int(k) < NumKinds {
+		c.kind = k
+	}
+	return prev
+}
+
+// kindForTag resolves a p2p tag to its traffic kind: the tag's packed
+// kind bits when present, the ambient kind otherwise.
+func (c *Comm) kindForTag(tag int) Kind {
+	if k := KindOfTag(tag); k != KindOther {
+		return k
+	}
+	return c.kind
+}
+
+// countSend attributes one outgoing p2p message to kind k.
+func (c *Comm) countSend(k Kind, bytes int64) {
+	c.statsMu.Lock()
+	c.stats.MsgsSent++
+	c.stats.BytesSent += bytes
+	c.stats.ByKind[k].MsgsSent++
+	c.stats.ByKind[k].BytesSent += bytes
+	c.statsMu.Unlock()
+}
+
+// countRecv attributes one incoming p2p message to kind k.
+func (c *Comm) countRecv(k Kind, bytes int64) {
+	c.statsMu.Lock()
+	c.stats.MsgsRecv++
+	c.stats.BytesRecv += bytes
+	c.stats.ByKind[k].MsgsRecv++
+	c.stats.ByKind[k].BytesRecv += bytes
+	c.statsMu.Unlock()
+}
+
+// countExchange attributes an alltoallv-style exchange (real p2p
+// counters on both sides, no modeled collective term) to kind k.
+func (c *Comm) countExchange(k Kind, msgsSent, bytesSent, msgsRecv, bytesRecv int64) {
+	c.statsMu.Lock()
+	c.stats.MsgsSent += msgsSent
+	c.stats.BytesSent += bytesSent
+	c.stats.MsgsRecv += msgsRecv
+	c.stats.BytesRecv += bytesRecv
+	b := &c.stats.ByKind[k]
+	b.MsgsSent += msgsSent
+	b.BytesSent += bytesSent
+	b.MsgsRecv += msgsRecv
+	b.BytesRecv += bytesRecv
+	c.statsMu.Unlock()
+}
 
 // Run executes fn as an SPMD program on size ranks and returns each
 // rank's final Stats. It panics (with the original message) if any rank
@@ -214,7 +311,7 @@ func Run(size int, fn func(c *Comm), opts ...RunOpt) []Stats {
 			defer wg.Done()
 			c := &Comm{rank: rank, size: size, w: w}
 			defer func() {
-				stats[rank] = c.stats
+				stats[rank] = c.Stats()
 				if p := recover(); p != nil {
 					w.poisonWith(fmt.Errorf("rank %d: %v", rank, p))
 				}
@@ -241,8 +338,7 @@ func (c *Comm) Send(dst, tag int, data []byte) {
 	}
 	cp := make([]byte, len(data))
 	copy(cp, data)
-	c.stats.MsgsSent++
-	c.stats.BytesSent += int64(len(data))
+	c.countSend(c.kindForTag(tag), int64(len(data)))
 	c.w.inboxes[dst].put(message{src: c.rank, tag: tag, data: cp})
 }
 
@@ -254,8 +350,7 @@ func (c *Comm) Recv(src, tag int) (data []byte, from int) {
 	defer deadline.Stop()
 	for {
 		if m, ok := ib.take(src, tag); ok {
-			c.stats.MsgsRecv++
-			c.stats.BytesRecv += int64(len(m.data))
+			c.countRecv(c.kindForTag(tag), int64(len(m.data)))
 			return m.data, m.src
 		}
 		select {
@@ -269,15 +364,22 @@ func (c *Comm) Recv(src, tag int) (data []byte, from int) {
 }
 
 // collectiveCost charges the modeled recursive-doubling cost for one
-// collective moving payload bytes.
+// collective moving payload bytes, attributed to the ambient kind.
 func (c *Comm) collectiveCost(payload int) {
 	steps := int64(math.Ceil(math.Log2(float64(c.size))))
 	if c.size == 1 {
 		steps = 0
 	}
+	bytes := steps * int64(payload)
+	c.statsMu.Lock()
 	c.stats.Collectives++
 	c.stats.CollectiveMsgs += steps
-	c.stats.CollectiveBytes += steps * int64(payload)
+	c.stats.CollectiveBytes += bytes
+	b := &c.stats.ByKind[c.kind]
+	b.Collectives++
+	b.CollectiveMsgs += steps
+	b.CollectiveBytes += bytes
+	c.statsMu.Unlock()
 }
 
 // Barrier blocks until every rank has entered it.

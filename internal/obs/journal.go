@@ -17,6 +17,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"dinfomap/internal/mpi"
 	"dinfomap/internal/trace"
 )
 
@@ -35,6 +36,10 @@ const (
 	PhaseRefreshRound1
 	PhaseRefreshRound2
 	PhaseMergeShuffle
+	// PhaseOuterIter is an outer-iteration boundary marker: a
+	// zero-duration event emitted when a rank finishes one outer
+	// iteration, whose counters carry that iteration's traffic delta.
+	PhaseOuterIter
 	numPhases
 )
 
@@ -55,6 +60,8 @@ func (p PhaseID) Name() string {
 		return trace.PhaseRefreshRound2
 	case PhaseMergeShuffle:
 		return trace.PhaseMergeShuffle
+	case PhaseOuterIter:
+		return trace.PhaseOuterIter
 	}
 	return "Unknown"
 }
@@ -107,6 +114,10 @@ type RankLog struct {
 	emitted atomic.Int64
 	// last publishes a copy of the most recent event for Status.
 	last atomic.Pointer[Event]
+	// comm publishes the rank's latest cumulative mpi.Stats snapshot so
+	// live observers (the metrics exposition) can read per-kind traffic
+	// without touching the Comm from another goroutine mid-increment.
+	comm atomic.Pointer[mpi.Stats]
 }
 
 // Now returns the current offset from the journal epoch; 0 on a nil log.
@@ -136,6 +147,31 @@ func (rl *RankLog) Emit(ev Event) {
 
 // Rank returns the owning rank id.
 func (rl *RankLog) Rank() int { return rl.rank }
+
+// PublishComm publishes a cumulative mpi.Stats snapshot for live
+// observers. The rank calls it at sweep and iteration boundaries; the
+// store is one atomic pointer swap, so it never blocks the rank.
+// No-op on a nil log.
+func (rl *RankLog) PublishComm(s mpi.Stats) {
+	if rl == nil {
+		return
+	}
+	cp := s
+	rl.comm.Store(&cp)
+}
+
+// CommSnapshot returns the most recently published cumulative comm
+// stats and whether any snapshot has been published yet. Safe from any
+// goroutine at any time.
+func (rl *RankLog) CommSnapshot() (mpi.Stats, bool) {
+	if rl == nil {
+		return mpi.Stats{}, false
+	}
+	if p := rl.comm.Load(); p != nil {
+		return *p, true
+	}
+	return mpi.Stats{}, false
+}
 
 // Events returns the recorded events in emission order.
 func (rl *RankLog) Events() []Event {

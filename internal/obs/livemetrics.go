@@ -1,0 +1,188 @@
+// Live Prometheus metrics for a running (or finished) distributed run.
+//
+// Two feeds, one registry:
+//
+//   - span counters stream in through the same non-blocking tap
+//     machinery as the SSE endpoint — a background collector goroutine
+//     consumes a Tap, so ranks never block on the metrics observer and
+//     a stalled scraper can at worst lose tap events (counted);
+//   - comm counters are mirrored at scrape time from each rank's
+//     atomically-published cumulative mpi.Stats snapshot (PublishComm),
+//     giving exact per-kind byte/message counters without the tap's
+//     lossy ring in the path.
+package obs
+
+import (
+	"net/http"
+	"strconv"
+
+	"dinfomap/internal/mpi"
+)
+
+// MetricsPath is the Prometheus text exposition endpoint registered by
+// RegisterDebugHandlers.
+const MetricsPath = "/debug/dinfomap/metrics"
+
+// spanDurationBuckets covers sub-microsecond journal spans up to
+// multi-second stalls (seconds, exponential).
+var spanDurationBuckets = []float64{
+	1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1, 10,
+}
+
+// Metrics aggregates a journal's live event flow into a Registry and
+// serves it in Prometheus text format.
+type Metrics struct {
+	j   *Journal
+	reg *Registry
+
+	spanEvents *Vec // {rank, phase}
+	spanMoves  *Vec
+	spanOps    *Vec
+	spanMsgs   *Vec
+	spanBytes  *Vec
+	spanDur    *Vec // {phase} histogram, seconds
+	outerIters *Vec // {rank}
+
+	commKindBytes  *Vec // {rank, kind, direction}
+	commKindMsgs   *Vec // {rank, kind, direction}
+	commKindColls  *Vec // {rank, kind}
+	commRankBytes  *Vec // {rank, direction}
+	commRankMsgs   *Vec // {rank, direction}
+	commRankColls  *Vec // {rank}
+	journalEvents  *Vec
+	journalDropped *Vec
+	runFinished    *Vec
+	done           chan struct{}
+}
+
+// RunMetrics subscribes a tap on j, starts the collector goroutine, and
+// returns the Metrics. The collector exits when the run finishes
+// (Journal.Finish closes the tap); Done reports that. A nil journal
+// yields a Metrics whose collector exits immediately and whose scrape
+// output is empty.
+func RunMetrics(j *Journal) *Metrics {
+	reg := NewRegistry()
+	m := &Metrics{
+		j:   j,
+		reg: reg,
+
+		spanEvents: reg.Counter("dinfomap_span_events_total",
+			"Journal span events recorded, by rank and phase.", "rank", "phase"),
+		spanMoves: reg.Counter("dinfomap_span_moves_total",
+			"Vertex moves applied, by rank and phase.", "rank", "phase"),
+		spanOps: reg.Counter("dinfomap_span_ops_total",
+			"Counted work (delta-L evals, candidates, ghosts, modules), by rank and phase.", "rank", "phase"),
+		spanMsgs: reg.Counter("dinfomap_span_msgs_total",
+			"Messages sent within spans (p2p + modeled collective steps), by rank and phase.", "rank", "phase"),
+		spanBytes: reg.Counter("dinfomap_span_bytes_total",
+			"Bytes sent within spans, by rank and phase.", "rank", "phase"),
+		spanDur: reg.Histogram("dinfomap_span_duration_seconds",
+			"Host wall-clock span durations by phase.", spanDurationBuckets, "phase"),
+		outerIters: reg.Counter("dinfomap_outer_iterations_total",
+			"Outer iterations completed, by rank.", "rank"),
+
+		commKindBytes: reg.Counter("dinfomap_comm_kind_bytes_total",
+			"Cumulative rank traffic bytes by message kind and direction (sent, recv, collective).", "rank", "kind", "direction"),
+		commKindMsgs: reg.Counter("dinfomap_comm_kind_msgs_total",
+			"Cumulative rank message counts by kind and direction (sent, recv, collective).", "rank", "kind", "direction"),
+		commKindColls: reg.Counter("dinfomap_comm_kind_collectives_total",
+			"Cumulative collective operations by rank and ambient kind.", "rank", "kind"),
+		commRankBytes: reg.Counter("dinfomap_comm_rank_bytes_total",
+			"Cumulative rank traffic bytes by direction; equals the per-kind sums.", "rank", "direction"),
+		commRankMsgs: reg.Counter("dinfomap_comm_rank_msgs_total",
+			"Cumulative rank message counts by direction; equals the per-kind sums.", "rank", "direction"),
+		commRankColls: reg.Counter("dinfomap_comm_rank_collectives_total",
+			"Cumulative collective operations by rank.", "rank"),
+		journalEvents: reg.Gauge("dinfomap_journal_events",
+			"Total journal events emitted across ranks."),
+		journalDropped: reg.Gauge("dinfomap_journal_dropped_events",
+			"Events lost to slow live subscribers (taps), journal lifetime."),
+		runFinished: reg.Gauge("dinfomap_run_finished",
+			"1 once the run has completed, else 0."),
+		done: make(chan struct{}),
+	}
+	tap := j.Subscribe(DefaultTapBuffer)
+	go func() {
+		defer close(m.done)
+		for ev := range tap.Events() {
+			m.observe(ev)
+		}
+	}()
+	return m
+}
+
+// Done is closed when the collector goroutine has drained its tap
+// (after Journal.Finish).
+func (m *Metrics) Done() <-chan struct{} { return m.done }
+
+// Registry exposes the underlying registry (tests, custom exposition).
+func (m *Metrics) Registry() *Registry { return m.reg }
+
+// observe folds one streamed journal event into the span counters.
+// Outer-iteration boundary markers count as iterations, not spans:
+// their Msgs/Bytes carry the iteration's cumulative traffic delta,
+// which the phase spans already accounted for.
+func (m *Metrics) observe(ev StreamEvent) {
+	rank := strconv.Itoa(ev.Rank)
+	if ev.Phase == PhaseOuterIter {
+		m.outerIters.With(rank).Add(1)
+		return
+	}
+	phase := ev.Phase.Name()
+	m.spanEvents.With(rank, phase).Add(1)
+	m.spanMoves.With(rank, phase).Add(float64(ev.Moves))
+	m.spanOps.With(rank, phase).Add(float64(ev.Ops))
+	m.spanMsgs.With(rank, phase).Add(float64(ev.Msgs))
+	m.spanBytes.With(rank, phase).Add(float64(ev.Bytes))
+	m.spanDur.With(phase).Observe(ev.Dur().Seconds())
+}
+
+// scrape mirrors the scrape-time values into the registry: each rank's
+// latest published cumulative comm snapshot (exact, per kind) and the
+// journal's live status gauges. Counter families are Set, not Added —
+// the sources are themselves cumulative monotone counters.
+func (m *Metrics) scrape() {
+	if m.j == nil {
+		return
+	}
+	for r := 0; r < m.j.NumRanks(); r++ {
+		s, ok := m.j.Rank(r).CommSnapshot()
+		if !ok {
+			continue
+		}
+		rank := strconv.Itoa(r)
+		for k := 0; k < mpi.NumKinds; k++ {
+			ks := s.ByKind[k]
+			kind := mpi.Kind(k).String()
+			m.commKindBytes.With(rank, kind, "sent").Set(float64(ks.BytesSent))
+			m.commKindBytes.With(rank, kind, "recv").Set(float64(ks.BytesRecv))
+			m.commKindBytes.With(rank, kind, "collective").Set(float64(ks.CollectiveBytes))
+			m.commKindMsgs.With(rank, kind, "sent").Set(float64(ks.MsgsSent))
+			m.commKindMsgs.With(rank, kind, "recv").Set(float64(ks.MsgsRecv))
+			m.commKindMsgs.With(rank, kind, "collective").Set(float64(ks.CollectiveMsgs))
+			m.commKindColls.With(rank, kind).Set(float64(ks.Collectives))
+		}
+		m.commRankBytes.With(rank, "sent").Set(float64(s.BytesSent))
+		m.commRankBytes.With(rank, "recv").Set(float64(s.BytesRecv))
+		m.commRankBytes.With(rank, "collective").Set(float64(s.CollectiveBytes))
+		m.commRankMsgs.With(rank, "sent").Set(float64(s.MsgsSent))
+		m.commRankMsgs.With(rank, "recv").Set(float64(s.MsgsRecv))
+		m.commRankMsgs.With(rank, "collective").Set(float64(s.CollectiveMsgs))
+		m.commRankColls.With(rank).Set(float64(s.Collectives))
+	}
+	st := m.j.Status()
+	m.journalEvents.With().Set(float64(st.Events))
+	m.journalDropped.With().Set(float64(st.DroppedEvents))
+	if st.Finished {
+		m.runFinished.With().Set(1)
+	} else {
+		m.runFinished.With().Set(0)
+	}
+}
+
+// ServeHTTP serves the registry in Prometheus text exposition format.
+func (m *Metrics) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	m.scrape()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = m.reg.WriteText(w)
+}

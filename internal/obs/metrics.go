@@ -1,0 +1,262 @@
+// A minimal metrics registry with Prometheus text-format exposition.
+//
+// This is deliberately not a client_library clone: the repo is
+// stdlib-only, and the exposition has one consumer contract — stable
+// output. Families are written in sorted name order and series in
+// sorted label-value order, so the same registry state always renders
+// byte-identically (golden-testable, diff-friendly scrapes).
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// MetricType is the Prometheus family type.
+type MetricType int
+
+// Supported family types.
+const (
+	TypeCounter MetricType = iota
+	TypeGauge
+	TypeHistogram
+)
+
+func (t MetricType) String() string {
+	switch t {
+	case TypeCounter:
+		return "counter"
+	case TypeGauge:
+		return "gauge"
+	case TypeHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// Registry holds metric families and renders them in Prometheus text
+// exposition format. All methods are safe for concurrent use; updates
+// take one mutex, which only observers and the tap-fed collector touch
+// — never the simulated ranks.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+type family struct {
+	name    string
+	help    string
+	typ     MetricType
+	labels  []string
+	buckets []float64 // histogram upper bounds, sorted, no +Inf
+	series  map[string]*Series
+}
+
+// Vec is a handle to one metric family; With resolves a label-value
+// combination to its Series.
+type Vec struct {
+	r *Registry
+	f *family
+}
+
+// Series is one labeled time series within a family.
+type Series struct {
+	r           *Registry
+	labelValues []string
+	value       float64   // counter / gauge
+	buckets     []float64 // histogram: the family's upper bounds
+	bucketCount []float64 // histogram: cumulative per upper bound
+	sum         float64
+	count       float64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+func (r *Registry) family(name, help string, typ MetricType, buckets []float64, labels []string) *Vec {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if f.typ != typ || len(f.labels) != len(labels) {
+			panic(fmt.Sprintf("obs: metric %q re-registered with different type or labels", name))
+		}
+		return &Vec{r: r, f: f}
+	}
+	f := &family{
+		name:    name,
+		help:    help,
+		typ:     typ,
+		labels:  append([]string(nil), labels...),
+		buckets: append([]float64(nil), buckets...),
+		series:  make(map[string]*Series),
+	}
+	sort.Float64s(f.buckets)
+	r.families[name] = f
+	return &Vec{r: r, f: f}
+}
+
+// Counter registers (or fetches) a counter family.
+func (r *Registry) Counter(name, help string, labels ...string) *Vec {
+	return r.family(name, help, TypeCounter, nil, labels)
+}
+
+// Gauge registers (or fetches) a gauge family.
+func (r *Registry) Gauge(name, help string, labels ...string) *Vec {
+	return r.family(name, help, TypeGauge, nil, labels)
+}
+
+// Histogram registers (or fetches) a histogram family with the given
+// upper bucket bounds (+Inf is implicit).
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...string) *Vec {
+	return r.family(name, help, TypeHistogram, buckets, labels)
+}
+
+// seriesKey joins label values unambiguously (values may contain any
+// byte; 0x1f never appears in our label vocabulary but escape anyway).
+func seriesKey(values []string) string {
+	return strings.Join(values, "\x1f")
+}
+
+// With resolves the series for the given label values, creating it at
+// zero on first use. The value count must match the family's label
+// names.
+func (v *Vec) With(values ...string) *Series {
+	if len(values) != len(v.f.labels) {
+		panic(fmt.Sprintf("obs: metric %q wants %d labels, got %d", v.f.name, len(v.f.labels), len(values)))
+	}
+	key := seriesKey(values)
+	v.r.mu.Lock()
+	defer v.r.mu.Unlock()
+	s, ok := v.f.series[key]
+	if !ok {
+		s = &Series{r: v.r, labelValues: append([]string(nil), values...)}
+		if v.f.typ == TypeHistogram {
+			s.buckets = v.f.buckets
+			s.bucketCount = make([]float64, len(v.f.buckets))
+		}
+		v.f.series[key] = s
+	}
+	return s
+}
+
+// Add increments a counter or gauge by d.
+func (s *Series) Add(d float64) {
+	s.r.mu.Lock()
+	s.value += d
+	s.r.mu.Unlock()
+}
+
+// Set sets a gauge — or a counter whose source is itself a cumulative
+// monotone value (scrape-time mirroring of mpi.Stats counters).
+func (s *Series) Set(x float64) {
+	s.r.mu.Lock()
+	s.value = x
+	s.r.mu.Unlock()
+}
+
+// Observe records one histogram observation.
+func (s *Series) Observe(x float64) {
+	s.r.mu.Lock()
+	defer s.r.mu.Unlock()
+	for i, ub := range s.buckets {
+		if x <= ub {
+			s.bucketCount[i]++
+		}
+	}
+	s.sum += x
+	s.count++
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return v
+}
+
+func formatValue(x float64) string {
+	return strconv.FormatFloat(x, 'g', -1, 64)
+}
+
+func labelBlock(names, values []string, extra ...string) string {
+	if len(names) == 0 && len(extra) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, n, escapeLabel(values[i]))
+	}
+	for i := 0; i+1 < len(extra); i += 2 {
+		if b.Len() > 1 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, extra[i], escapeLabel(extra[i+1]))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// WriteText renders the registry in Prometheus text exposition format
+// (version 0.0.4). Families appear in sorted name order and series in
+// sorted label-value order, so identical registry state always renders
+// byte-identically.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.families))
+	for n := range r.families {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		f := r.families[n]
+		if len(f.series) == 0 {
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.typ); err != nil {
+			return err
+		}
+		keys := make([]string, 0, len(f.series))
+		for k := range f.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			s := f.series[k]
+			if f.typ == TypeHistogram {
+				for i, ub := range f.buckets {
+					lb := labelBlock(f.labels, s.labelValues, "le", formatValue(ub))
+					if _, err := fmt.Fprintf(w, "%s_bucket%s %s\n", f.name, lb, formatValue(s.bucketCount[i])); err != nil {
+						return err
+					}
+				}
+				lb := labelBlock(f.labels, s.labelValues, "le", "+Inf")
+				if _, err := fmt.Fprintf(w, "%s_bucket%s %s\n", f.name, lb, formatValue(s.count)); err != nil {
+					return err
+				}
+				plain := labelBlock(f.labels, s.labelValues)
+				if _, err := fmt.Fprintf(w, "%s_sum%s %s\n%s_count%s %s\n",
+					f.name, plain, formatValue(s.sum), f.name, plain, formatValue(s.count)); err != nil {
+					return err
+				}
+				continue
+			}
+			lb := labelBlock(f.labels, s.labelValues)
+			if _, err := fmt.Fprintf(w, "%s%s %s\n", f.name, lb, formatValue(s.value)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

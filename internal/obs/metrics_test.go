@@ -1,0 +1,181 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"dinfomap/internal/mpi"
+)
+
+// TestRegistryWriteTextGolden locks in the exposition format and its
+// stable ordering: families sorted by name, series sorted by label
+// values, histograms with cumulative buckets and +Inf, regardless of
+// insertion order.
+func TestRegistryWriteTextGolden(t *testing.T) {
+	reg := NewRegistry()
+	// Insert deliberately out of order.
+	g := reg.Gauge("zz_gauge", "A gauge.", "state")
+	g.With("up").Set(1)
+	c := reg.Counter("aa_bytes_total", "Bytes.", "rank", "kind")
+	c.With("1", "ghost_update").Add(7)
+	c.With("0", "module_info").Add(5)
+	c.With("0", "ghost_update").Add(3)
+	h := reg.Histogram("mm_seconds", "Durations.", []float64{0.1, 1}, "phase")
+	h.With("Other").Observe(0.05)
+	h.With("Other").Observe(0.5)
+	h.With("Other").Observe(5)
+
+	const want = `# HELP aa_bytes_total Bytes.
+# TYPE aa_bytes_total counter
+aa_bytes_total{rank="0",kind="ghost_update"} 3
+aa_bytes_total{rank="0",kind="module_info"} 5
+aa_bytes_total{rank="1",kind="ghost_update"} 7
+# HELP mm_seconds Durations.
+# TYPE mm_seconds histogram
+mm_seconds_bucket{phase="Other",le="0.1"} 1
+mm_seconds_bucket{phase="Other",le="1"} 2
+mm_seconds_bucket{phase="Other",le="+Inf"} 3
+mm_seconds_sum{phase="Other"} 5.55
+mm_seconds_count{phase="Other"} 3
+# HELP zz_gauge A gauge.
+# TYPE zz_gauge gauge
+zz_gauge{state="up"} 1
+`
+	var b1, b2 strings.Builder
+	if err := reg.WriteText(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if b1.String() != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", b1.String(), want)
+	}
+	// Re-rendering identical state must be byte-identical.
+	if err := reg.WriteText(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b1.String() != b2.String() {
+		t.Fatal("WriteText is not deterministic across calls")
+	}
+}
+
+func TestRegistryLabelEscaping(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("x_total", "X.", "l").With(`a"b\c` + "\nd").Add(1)
+	var b strings.Builder
+	if err := reg.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `x_total{l="a\"b\\c\nd"} 1`
+	if !strings.Contains(b.String(), want) {
+		t.Fatalf("escaped series not found:\n%s", b.String())
+	}
+}
+
+func TestPublishCommSnapshot(t *testing.T) {
+	j := NewJournal(2)
+	if _, ok := j.Rank(0).CommSnapshot(); ok {
+		t.Fatal("snapshot reported before any publish")
+	}
+	var s mpi.Stats
+	s.BytesSent, s.MsgsSent = 42, 2
+	s.ByKind[mpi.KindGhostUpdate] = mpi.KindStats{BytesSent: 42, MsgsSent: 2}
+	j.Rank(0).PublishComm(s)
+	got, ok := j.Rank(0).CommSnapshot()
+	if !ok || got != s {
+		t.Fatalf("CommSnapshot = %+v, %v", got, ok)
+	}
+	// Nil-safety.
+	var nilLog *RankLog
+	nilLog.PublishComm(s)
+	if _, ok := nilLog.CommSnapshot(); ok {
+		t.Fatal("nil log reported a snapshot")
+	}
+}
+
+// TestMetricsEndToEnd drives the full live path: journal events through
+// the tap collector, comm snapshots at scrape time, HTTP exposition —
+// and checks the acceptance invariant that per-kind sums equal the
+// rank totals in the scraped text.
+func TestMetricsEndToEnd(t *testing.T) {
+	const p = 2
+	j := NewJournal(p)
+	mux := http.NewServeMux()
+	m := RegisterDebugHandlers(mux, j)
+
+	for r := 0; r < p; r++ {
+		rl := j.Rank(r)
+		rl.Emit(Event{Stage: 1, Iter: 0, Phase: PhaseFindBestModule,
+			Start: 0, End: time.Millisecond, Moves: 3, Ops: 10, Msgs: 2, Bytes: 100})
+		rl.Emit(Event{Stage: 1, Iter: 0, Phase: PhaseOuterIter,
+			Start: time.Millisecond, End: time.Millisecond, Bytes: 100, Msgs: 2})
+		var s mpi.Stats
+		s.BytesSent, s.MsgsSent = int64(100*(r+1)), int64(2*(r+1))
+		s.CollectiveBytes, s.Collectives, s.CollectiveMsgs = 64, 1, 1
+		s.ByKind[mpi.KindModuleInfo] = mpi.KindStats{BytesSent: int64(60 * (r + 1)), MsgsSent: int64(r + 1)}
+		s.ByKind[mpi.KindGhostUpdate] = mpi.KindStats{BytesSent: int64(40 * (r + 1)), MsgsSent: int64(r + 1)}
+		s.ByKind[mpi.KindCollective] = mpi.KindStats{CollectiveBytes: 64, Collectives: 1, CollectiveMsgs: 1}
+		if !s.Conserved() {
+			t.Fatal("test fixture stats not conserved")
+		}
+		rl.PublishComm(s)
+	}
+	j.Finish()
+	<-m.Done() // collector drained the tap
+
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest("GET", MetricsPath, nil)
+	mux.ServeHTTP(rec, req)
+	body := rec.Body.String()
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+
+	for _, want := range []string{
+		`dinfomap_span_events_total{rank="0",phase="FindBestModule"} 1`,
+		`dinfomap_span_bytes_total{rank="1",phase="FindBestModule"} 100`,
+		`dinfomap_outer_iterations_total{rank="0"} 1`,
+		`dinfomap_comm_kind_bytes_total{rank="0",kind="module_info",direction="sent"} 60`,
+		`dinfomap_comm_kind_bytes_total{rank="1",kind="ghost_update",direction="sent"} 80`,
+		`dinfomap_comm_rank_bytes_total{rank="1",direction="sent"} 200`,
+		`dinfomap_run_finished 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("exposition missing %q\n%s", want, body)
+		}
+	}
+
+	// Conservation in the scraped text: per-kind sent bytes sum to the
+	// rank total series.
+	for r := 0; r < p; r++ {
+		rank := strconv.Itoa(r)
+		var kindSum, total float64
+		for _, line := range strings.Split(body, "\n") {
+			if strings.HasPrefix(line, `dinfomap_comm_kind_bytes_total{rank="`+rank+`"`) &&
+				strings.Contains(line, `direction="sent"`) {
+				kindSum += parseSampleValue(t, line)
+			}
+			if strings.HasPrefix(line, `dinfomap_comm_rank_bytes_total{rank="`+rank+`",direction="sent"}`) {
+				total = parseSampleValue(t, line)
+			}
+		}
+		if kindSum != total || total == 0 {
+			t.Errorf("rank %s: kind sent-bytes sum %v != rank total %v", rank, kindSum, total)
+		}
+	}
+}
+
+func parseSampleValue(t *testing.T, line string) float64 {
+	t.Helper()
+	i := strings.LastIndexByte(line, ' ')
+	if i < 0 {
+		t.Fatalf("malformed sample line %q", line)
+	}
+	v, err := strconv.ParseFloat(line[i+1:], 64)
+	if err != nil {
+		t.Fatalf("malformed sample value in %q: %v", line, err)
+	}
+	return v
+}

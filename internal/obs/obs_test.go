@@ -54,7 +54,7 @@ func TestPhaseNames(t *testing.T) {
 	names := PhaseNames()
 	want := []string{
 		"FindBestModule", "BroadcastDelegates", "SwapBoundaryInfo", "Other",
-		"refresh-round1", "refresh-round2", "merge-shuffle",
+		"refresh-round1", "refresh-round2", "merge-shuffle", "outer-iteration",
 	}
 	if len(names) != len(want) {
 		t.Fatalf("PhaseNames = %v", names)

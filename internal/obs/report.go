@@ -44,6 +44,100 @@ func CommFromStats(s mpi.Stats) CommTotals {
 	}
 }
 
+// commFromKind converts one kind bucket to report form.
+func commFromKind(k mpi.KindStats) CommTotals {
+	return CommTotals{
+		BytesSent:       k.BytesSent,
+		BytesRecv:       k.BytesRecv,
+		MsgsSent:        k.MsgsSent,
+		MsgsRecv:        k.MsgsRecv,
+		Collectives:     k.Collectives,
+		CollectiveBytes: k.CollectiveBytes,
+		CollectiveMsgs:  k.CollectiveMsgs,
+	}
+}
+
+// add accumulates o into c field-wise.
+func (c *CommTotals) add(o CommTotals) {
+	c.BytesSent += o.BytesSent
+	c.BytesRecv += o.BytesRecv
+	c.MsgsSent += o.MsgsSent
+	c.MsgsRecv += o.MsgsRecv
+	c.Collectives += o.Collectives
+	c.CollectiveBytes += o.CollectiveBytes
+	c.CollectiveMsgs += o.CollectiveMsgs
+}
+
+// ByKindFromStats converts the per-kind buckets of an mpi.Stats
+// snapshot to report form, keyed by stable kind name. All-zero kinds
+// are omitted, so reports stay compact and adding future kinds does not
+// perturb existing output. encoding/json writes map keys sorted, so the
+// field is deterministic.
+func ByKindFromStats(s mpi.Stats) map[string]CommTotals {
+	out := make(map[string]CommTotals)
+	for k := 0; k < mpi.NumKinds; k++ {
+		if s.ByKind[k] == (mpi.KindStats{}) {
+			continue
+		}
+		out[mpi.Kind(k).String()] = commFromKind(s.ByKind[k])
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// IterationReport is one rank's cost/traffic slice for one outer
+// iteration (stage 1 is outer 0; each merged level adds one). Comm
+// fields are the iteration's delta of the cumulative counters
+// (Stats.Sub of boundary snapshots), not running totals.
+type IterationReport struct {
+	Outer  int   `json:"outer"`
+	Stage  int   `json:"stage"`  // 1 = delegate stage, 2 = merged levels
+	Sweeps int   `json:"sweeps"` // synchronized sweeps in the iteration
+	Ops    int64 `json:"ops"`    // counted work within the iteration
+	WallNs int64 `json:"wall_ns"`
+	// Comm is this iteration's traffic delta for the rank.
+	Comm CommTotals `json:"comm"`
+	// CommByKind splits Comm by message kind (absent when empty).
+	CommByKind map[string]CommTotals `json:"comm_by_kind,omitempty"`
+}
+
+// CommsReport is the run-level communication rollup: totals and per-
+// kind splits summed over ranks. Schema addition (v1-compatible).
+type CommsReport struct {
+	Totals CommTotals `json:"totals"`
+	// ByKind is keyed by stable kind name; kinds with no traffic are
+	// omitted.
+	ByKind map[string]CommTotals `json:"by_kind,omitempty"`
+}
+
+// BuildComms sums per-rank cumulative stats into the run-level rollup.
+func BuildComms(stats []mpi.Stats) *CommsReport {
+	if len(stats) == 0 {
+		return nil
+	}
+	c := &CommsReport{ByKind: make(map[string]CommTotals)}
+	for _, s := range stats {
+		t := c.Totals
+		t.add(CommFromStats(s))
+		c.Totals = t
+		for k := 0; k < mpi.NumKinds; k++ {
+			if s.ByKind[k] == (mpi.KindStats{}) {
+				continue
+			}
+			name := mpi.Kind(k).String()
+			kt := c.ByKind[name]
+			kt.add(commFromKind(s.ByKind[k]))
+			c.ByKind[name] = kt
+		}
+	}
+	if len(c.ByKind) == 0 {
+		c.ByKind = nil
+	}
+	return c
+}
+
 // RankReport is one rank's contribution to the run report.
 type RankReport struct {
 	Rank int `json:"rank"`
@@ -65,6 +159,13 @@ type RankReport struct {
 	Wall2Ns     int64            `json:"wall2_ns"`
 	DeltaEvals  int64            `json:"delta_evals"`
 	Comm        CommTotals       `json:"comm"`
+	// CommByKind splits Comm by message kind. Schema addition
+	// (v1-compatible): absent in reports written before per-kind
+	// accounting existed.
+	CommByKind map[string]CommTotals `json:"comm_by_kind,omitempty"`
+	// Iterations are the rank's per-outer-iteration cost/traffic slices
+	// in outer order. Schema addition (v1-compatible).
+	Iterations []IterationReport `json:"iterations,omitempty"`
 }
 
 // GraphInfo summarizes the input graph.
@@ -140,7 +241,10 @@ type Report struct {
 	Partition        PartitionInfo   `json:"partition"`
 	MaxRankBytes     int64           `json:"max_rank_bytes"`
 	DeltaEvaluations int64           `json:"delta_evaluations"`
-	Ranks            []RankReport    `json:"ranks"`
+	// Comms is the run-level communication rollup (totals and by-kind
+	// splits summed over ranks). Schema addition (v1-compatible).
+	Comms *CommsReport `json:"comms,omitempty"`
+	Ranks []RankReport `json:"ranks"`
 }
 
 // WriteJSON writes r as indented JSON.

@@ -363,11 +363,19 @@ const (
 // RegisterDebugHandlers installs the live-run endpoints on mux
 // (typically http.DefaultServeMux, next to net/http/pprof):
 //
-//	/debug/dinfomap/events  SSE event stream (hello, span*, status)
-//	/debug/dinfomap/status  JSON progress snapshot
-func RegisterDebugHandlers(mux *http.ServeMux, j *Journal) {
+//	/debug/dinfomap/events   SSE event stream (hello, span*, status)
+//	/debug/dinfomap/status   JSON progress snapshot
+//	/debug/dinfomap/metrics  Prometheus text exposition
+//
+// Registering starts the metrics tap collector; it drains itself when
+// the run finishes. The returned Metrics lets callers inspect or extend
+// the registry and may be ignored.
+func RegisterDebugHandlers(mux *http.ServeMux, j *Journal) *Metrics {
 	mux.HandleFunc(EventsPath, j.ServeEvents)
 	mux.HandleFunc(StatusPath, j.ServeStatus)
+	m := RunMetrics(j)
+	mux.Handle(MetricsPath, m)
+	return m
 }
 
 // writeSSE writes one SSE frame with the given event name and a JSON

@@ -44,6 +44,10 @@ const (
 	// contraction plus the alltoallv redistributing merged arcs to their
 	// new 1D owners.
 	PhaseMergeShuffle = "merge-shuffle"
+	// PhaseOuterIter marks an outer-iteration boundary in the journal: a
+	// zero-duration event whose counters carry the iteration's cumulative
+	// traffic delta (stage 1 is outer 0; each merged level adds one).
+	PhaseOuterIter = "outer-iteration"
 )
 
 // Timer accumulates wall time and operation counts per named phase for
