@@ -33,11 +33,12 @@ var criticalPackages = map[string]bool{
 	"dinfomap/internal/mapeq":      true,
 	"dinfomap/internal/dirinfomap": true,
 	"dinfomap/internal/graph":      true,
+	"dinfomap/internal/metrics":    true,
 }
 
 var criticalNames = map[string]bool{
 	"core": true, "partition": true, "mapeq": true,
-	"dirinfomap": true, "graph": true,
+	"dirinfomap": true, "graph": true, "metrics": true,
 }
 
 // Analyzer is the maporder check.

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"dinfomap/internal/graph"
+	"dinfomap/internal/mapeq"
+	"dinfomap/internal/mpi"
+	"dinfomap/internal/partition"
+)
+
+// BenchLevel is a retained single-rank stage-1 level used by the
+// benchmark suite and the allocation-budget tests to drive the hot
+// paths (sweep passes, Module_Info refresh rounds) in isolation,
+// outside a full Run. With p = 1 every collective self-completes, so
+// the level's communicator stays usable after mpi.Run returns.
+type BenchLevel struct {
+	lv    *level
+	s     *sweepScratch
+	costs phaseCosts
+}
+
+// NewBenchLevel builds a single-rank level over g with singleton
+// assignments and exact refresh-time aggregates, ready for SweepPass
+// and Refresh calls. The delegate threshold is set above any degree so
+// the level has no hubs (hub coordination is pointless at p = 1).
+func NewBenchLevel(g *graph.Graph, seed uint64) *BenchLevel {
+	cfg := Config{P: 1, Seed: seed}.withDefaults()
+	layout := partition.Delegate(g, 1, partition.DelegateOptions{DHigh: 1 << 30})
+	flow := mapeq.NewVertexFlow(g)
+	var lv *level
+	mpi.Run(1, func(c *mpi.Comm) {
+		lv = newStage1Level(c, &cfg, layout, flow.P, flow.Exit, flow.Norm(),
+			flow.SumPlogpP, cfg.Seed)
+	})
+	b := &BenchLevel{lv: lv, s: lv.newScratch(), costs: make(phaseCosts)}
+	b.lv.refresh(b.costs, -1)
+	return b
+}
+
+// SweepPass runs one local move pass over the level's vertices and
+// returns the number of moves applied. Calling it until it returns 0
+// reaches the steady state where passes only scan and evaluate.
+func (b *BenchLevel) SweepPass() int {
+	moves, _, _ := b.lv.sweep(b.s, 1)
+	return moves
+}
+
+// Refresh runs one Module_Info refresh: partials to module homes,
+// authoritative stats back, and the closing MDL reduction.
+func (b *BenchLevel) Refresh() { b.lv.refresh(b.costs, 0) }
+
+// BenchCodecRound encodes recs into e (reset first) and decodes them
+// all back through d, returning the number of records decoded. It is
+// the Module_Info wire round used by the codec benchmarks and the
+// allocation-budget tests: with a warm encoder and a reused decoder the
+// round allocates nothing.
+func BenchCodecRound(e *mpi.Encoder, d *mpi.Decoder, recs []ModuleInfo) int {
+	e.Reset()
+	for _, m := range recs {
+		if m.IsSent {
+			m.encodeShort(e)
+		} else {
+			m.encode(e)
+		}
+	}
+	d.Reset(e.Bytes())
+	decoded := 0
+	for d.Remaining() > 0 {
+		_ = decodeModuleInfoMaybeShort(d)
+		decoded++
+	}
+	return decoded
+}

@@ -62,9 +62,9 @@ func runStage1WithChecks(t *testing.T, g *graph.Graph, p int, cfg Config) {
 			// Publish this rank's state and check on rank 0.
 			snap := make([]int, n)
 			copy(snap, lv.comm)
-			mods := make(map[int]mapeq.Module, len(lv.mods))
-			for m, v := range lv.mods {
-				mods[m] = v
+			mods := make(map[int]mapeq.Module, len(lv.modList))
+			for _, m := range lv.modList {
+				mods[m] = lv.mods[m]
 			}
 			mu.Lock()
 			snaps[c.Rank()] = snap

@@ -331,3 +331,10 @@ func checkf(cond bool, format string, args ...any) {
 		panic(fmt.Sprintf("core: internal invariant violated: "+format, args...))
 	}
 }
+
+// panicf is checkf's cold half for hot loops: guarding with a plain
+// comparison and calling panicf only on failure keeps the ...any
+// arguments from being boxed on every iteration the check passes.
+func panicf(format string, args ...any) {
+	panic(fmt.Sprintf("core: internal invariant violated: "+format, args...))
+}

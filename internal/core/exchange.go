@@ -1,8 +1,6 @@
 package core
 
 import (
-	"sort"
-
 	"dinfomap/internal/mapeq"
 	"dinfomap/internal/mpi"
 	"dinfomap/internal/obs"
@@ -24,6 +22,10 @@ import (
 // literal scheme; the ablation benches show it degrades quality when a
 // delegate's adjacency is spread thinly over many ranks.
 //
+// Winners are kept in the per-hub-position delegate scratch (stamped
+// per round) and walked by ascending position — hubs is sorted, so that
+// is ascending hub-id order with no key collection or sort.
+//
 // Returns the number of hub moves applied (identical on every rank).
 func (lv *level) broadcastDelegates(cands []hubCandidate) int {
 	if lv.isHub == nil {
@@ -32,33 +34,44 @@ func (lv *level) broadcastDelegates(cands []hubCandidate) int {
 	// Both allgather rounds carry delegate-move traffic.
 	prevKind := lv.c.SetKind(mpi.KindHubCandidate)
 	defer lv.c.SetKind(prevKind)
+	ds := lv.dsch
+	ds.round++
 	// ---- Round A: propose ----
-	e := mpi.NewEncoder(len(cands) * 24)
+	e := lv.enc
+	e.Reset()
 	for _, hc := range cands {
 		hc.encode(e)
 	}
 	parts := lv.c.AllgatherBytes(e.Bytes())
-	best := make(map[int]hubCandidate)
-	proposer := make(map[int]int)
+	nWin := 0
+	d := &lv.dec
 	for src, b := range parts {
-		d := mpi.NewDecoder(b)
+		d.Reset(b)
 		for d.Remaining() > 0 {
 			hc := decodeHubCandidate(d)
-			cur, ok := best[hc.Hub]
+			pos := lv.hubIndex[hc.Hub]
+			if ds.stamp[pos] != ds.round {
+				ds.stamp[pos] = ds.round
+				ds.cand[pos] = hc
+				ds.proposer[pos] = int32(src)
+				nWin++
+				continue
+			}
+			cur := ds.cand[pos]
 			// The tie-break must use exact bit equality: every rank decodes
 			// the same candidate bytes, so equal means identical, and an
 			// epsilon would merge near-ties differently than the (target,
 			// rank) ordering resolves them.
-			if !ok || hc.DeltaL < cur.DeltaL ||
+			if hc.DeltaL < cur.DeltaL ||
 				//dinfomap:float-ok deterministic tie-break on bit-identical decoded values
 				(hc.DeltaL == cur.DeltaL && (hc.Target < cur.Target ||
-					(hc.Target == cur.Target && src < proposer[hc.Hub]))) {
-				best[hc.Hub] = hc
-				proposer[hc.Hub] = src
+					(hc.Target == cur.Target && src < int(ds.proposer[pos])))) {
+				ds.cand[pos] = hc
+				ds.proposer[pos] = int32(src)
 			}
 		}
 	}
-	if len(best) == 0 {
+	if nWin == 0 {
 		// Keep the collective schedule aligned across ranks: round B
 		// always happens (empty) so no rank waits on a missing barrier.
 		if !lv.cfg.ApproxDelegates {
@@ -66,19 +79,20 @@ func (lv *level) broadcastDelegates(cands []hubCandidate) int {
 		}
 		return 0
 	}
-	hubs := make([]int, 0, len(best))
-	for h := range best {
-		hubs = append(hubs, h)
+	ds.sel = ds.sel[:0]
+	for pos := range lv.hubs {
+		if ds.stamp[pos] == ds.round {
+			ds.sel = append(ds.sel, int32(pos))
+		}
 	}
-	sort.Ints(hubs)
 
 	moves := 0
 	if lv.cfg.ApproxDelegates {
 		// The paper's literal scheme: apply the winning local candidate.
-		for _, h := range hubs {
-			hc := best[h]
-			if hc.DeltaL < 0 && lv.comm[h] != hc.Target {
-				lv.comm[h] = hc.Target
+		for _, pos := range ds.sel {
+			hc := ds.cand[pos]
+			if hc.DeltaL < 0 && lv.comm[hc.Hub] != hc.Target {
+				lv.comm[hc.Hub] = hc.Target
 				moves++
 			}
 		}
@@ -88,17 +102,19 @@ func (lv *level) broadcastDelegates(cands []hubCandidate) int {
 	// ---- Round B: exact evaluation ----
 	// Fixed-order weight block (2 float64 per winner hub), then the
 	// proposer-supplied target module stats.
-	e = mpi.NewEncoder(len(hubs)*16 + 64)
-	for _, h := range hubs {
-		target := best[h].Target
+	e.Reset()
+	for _, pos := range ds.sel {
+		h := lv.hubs[pos]
+		target := ds.cand[pos].Target
 		from := lv.comm[h]
 		wTo, wFrom := lv.localHubWeights(h, target, from)
 		e.PutF64(wTo)
 		e.PutF64(wFrom)
 	}
-	for _, h := range hubs {
-		if proposer[h] == lv.rank {
-			m := lv.mods[best[h].Target]
+	for _, pos := range ds.sel {
+		if int(ds.proposer[pos]) == lv.rank {
+			h := lv.hubs[pos]
+			m := lv.mods[ds.cand[pos].Target]
 			e.PutInt(h)
 			e.PutF64(m.SumPr)
 			e.PutF64(m.ExitPr)
@@ -106,18 +122,17 @@ func (lv *level) broadcastDelegates(cands []hubCandidate) int {
 		}
 	}
 	parts = lv.c.AllgatherBytes(e.Bytes())
-	sumTo := make([]float64, len(hubs))
-	sumFrom := make([]float64, len(hubs))
-	targetStats := make(map[int]mapeq.Module, len(hubs))
+	ds.sumTo = growF64(ds.sumTo, len(ds.sel))
+	ds.sumFrom = growF64(ds.sumFrom, len(ds.sel))
 	for _, b := range parts {
-		d := mpi.NewDecoder(b)
-		for i := range hubs {
-			sumTo[i] += d.F64()
-			sumFrom[i] += d.F64()
+		d.Reset(b)
+		for i := range ds.sel {
+			ds.sumTo[i] += d.F64()
+			ds.sumFrom[i] += d.F64()
 		}
 		for d.Remaining() > 0 {
 			h := d.Int()
-			targetStats[h] = mapeq.Module{
+			ds.target[lv.hubIndex[h]] = mapeq.Module{
 				SumPr: d.F64(), ExitPr: d.F64(), Members: d.Int(),
 			}
 		}
@@ -126,8 +141,9 @@ func (lv *level) broadcastDelegates(cands []hubCandidate) int {
 	// aggregates and from-module stats (identical everywhere because
 	// every rank subscribes to every hub's module), the proposer's
 	// target stats, and the globally summed link weights.
-	for i, h := range hubs {
-		hc := best[h]
+	for i, pos := range ds.sel {
+		h := lv.hubs[pos]
+		hc := ds.cand[pos]
 		from := lv.comm[h]
 		if from == hc.Target {
 			continue
@@ -135,11 +151,11 @@ func (lv *level) broadcastDelegates(cands []hubCandidate) int {
 		mv := mapeq.Move{
 			PU:      lv.visit[h],
 			ExitU:   lv.exitP[h],
-			WToFrom: sumFrom[i],
-			WToTo:   sumTo[i],
+			WToFrom: ds.sumFrom[i],
+			WToTo:   ds.sumTo[i],
 		}
-		d := mapeq.DeltaL(lv.refAgg, lv.hubFromStats[h], targetStats[h], mv)
-		if d < -1e-15 {
+		dl := mapeq.DeltaL(lv.refAgg, lv.hubFrom[pos], ds.target[pos], mv)
+		if dl < -1e-15 {
 			lv.comm[h] = hc.Target
 			moves++
 		}
@@ -147,11 +163,24 @@ func (lv *level) broadcastDelegates(cands []hubCandidate) int {
 	return moves
 }
 
+// growF64 returns s resized to length n with every element zeroed,
+// reusing capacity when possible.
+func growF64(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
 // localHubWeights returns this rank's normalized link weight between hub
 // h and the members (as locally known) of the target and from modules.
 func (lv *level) localHubWeights(h, target, from int) (wTo, wFrom float64) {
-	i, ok := lv.evalIndex[h]
-	if !ok {
+	i := lv.evalIndexOf[h]
+	if i < 0 {
 		return 0, 0
 	}
 	for j := lv.evalOff[i]; j < lv.evalOff[i+1]; j++ {
@@ -178,26 +207,19 @@ func (lv *level) localHubWeights(h, target, from int) (wTo, wFrom float64) {
 func (lv *level) swapGhostComms() (sent int) {
 	prevKind := lv.c.SetKind(mpi.KindGhostUpdate)
 	defer lv.c.SetKind(prevKind)
-	encs := make([]*mpi.Encoder, lv.p)
-	for _, v := range lv.subList {
+	sb := lv.sendBufs
+	sb.Reset()
+	for i, v := range lv.subVerts {
 		gu := ghostUpdate{Vertex: v, Comm: lv.comm[v]}
-		for _, dst := range lv.subscribers[v] {
-			if encs[dst] == nil {
-				encs[dst] = mpi.NewEncoder(256)
-			}
-			gu.encode(encs[dst])
+		for _, dstRank := range lv.subRanks[lv.subOff[i]:lv.subOff[i+1]] {
+			gu.encode(sb.For(int(dstRank)))
 			sent++
 		}
 	}
-	bufs := make([][]byte, lv.p)
-	for r, e := range encs {
-		if e != nil {
-			bufs[r] = e.Bytes()
-		}
-	}
-	recv := lv.c.Alltoallv(bufs)
+	recv := lv.c.Alltoallv(sb.Bufs())
+	d := &lv.dec
 	for _, b := range recv {
-		d := mpi.NewDecoder(b)
+		d.Reset(b)
 		for d.Remaining() > 0 {
 			gu := decodeGhostUpdate(d)
 			lv.comm[gu.Vertex] = gu.Comm
@@ -218,6 +240,12 @@ func (lv *level) swapGhostComms() (sent int) {
 // owner-side summation; refresh-round2: authoritative replies + local
 // table rebuild + MDL allreduce) instead of folding into Other. iter
 // tags the spans with the synchronized sweep (-1 = setup refresh).
+//
+// Partials accumulate into stamp-guarded dense arrays by module id and
+// are encoded by one ascending id scan (identical bytes to the old
+// sorted-key encode); owner-side sums accumulate by owned slot and are
+// walked by ascending slot, which is ascending module-id order. No step
+// hashes, sorts, or allocates in the steady state.
 func (lv *level) refresh(costs phaseCosts, iter int32) (numModules int64) {
 	j1 := lv.jlog.Now()
 	before := lv.c.Stats()
@@ -227,22 +255,26 @@ func (lv *level) refresh(costs phaseCosts, iter int32) (numModules int64) {
 	prevKind := lv.c.SetKind(mpi.KindModulePartial)
 	defer lv.c.SetKind(prevKind)
 
-	// ---- Local partials ----
-	partials := make(map[int]*modulePartial)
-	get := func(m int) *modulePartial {
-		p := partials[m]
-		if p == nil {
-			p = &modulePartial{ModID: m}
-			partials[m] = p
+	rs := lv.rsch
+	rs.round++
+	round := rs.round
+	touch := func(m int) {
+		if rs.pStamp[m] != round {
+			rs.pStamp[m] = round
+			rs.pSumPr[m] = 0
+			rs.pExit[m] = 0
+			rs.pMembers[m] = 0
 		}
-		return p
 	}
+
+	// ---- Local partials ----
 	// Membership: every live vertex is counted exactly once globally, by
 	// its owner (delegate copies do not double-count).
 	for _, u := range lv.ownedActive {
-		p := get(lv.comm[u])
-		p.SumPr += lv.visit[u]
-		p.Members++
+		m := lv.comm[u]
+		touch(m)
+		rs.pSumPr[m] += lv.visit[u]
+		rs.pMembers[m]++
 	}
 	// Exit: every arc exists on exactly one rank, so summing local
 	// crossing arcs over ranks counts each crossing edge once per side.
@@ -257,125 +289,118 @@ func (lv *level) refresh(costs phaseCosts, iter int32) (numModules int64) {
 		}
 		//dinfomap:float-ok skip-empty guard: exit is a sum of strictly positive weights, exactly 0 iff none
 		if exit != 0 {
-			get(m).ExitPr += exit * lv.inv2W
+			touch(m)
+			rs.pExit[m] += exit * lv.inv2W
 		}
 	}
 	// Subscriptions: we need fresh stats for the module of every visible
 	// vertex; an all-zero partial acts as a pure request.
 	for _, x := range lv.visList {
-		get(lv.comm[x])
+		touch(lv.comm[x])
 	}
 
 	// ---- Round 1: partials to module home ranks ----
 	// With deduplication one record per module is sent; the NoDedup
 	// ablation sends one record per visible vertex of the module,
 	// reproducing the duplicated-information problem of Figure 3.
-	// Records are encoded in sorted module order so each destination
-	// buffer is byte-identical run to run.
-	partialIDs := make([]int, 0, len(partials))
-	for m := range partials {
-		partialIDs = append(partialIDs, m)
-	}
-	sort.Ints(partialIDs)
-	encs := make([]*mpi.Encoder, lv.p)
-	enc := func(dst int, rec modulePartial) {
-		if encs[dst] == nil {
-			encs[dst] = mpi.NewEncoder(512)
-		}
-		rec.encode(encs[dst])
-	}
+	// The ascending id scan encodes records in sorted module order, so
+	// each destination buffer is byte-identical run to run.
+	sb := lv.sendBufs
+	sb.Reset()
+	r1Ops := int64(0)
+	var dupCounts map[int]int
 	if lv.cfg.NoDedup {
-		counts := make(map[int]int)
+		dupCounts = make(map[int]int)
 		for _, x := range lv.visList {
-			counts[lv.comm[x]]++
+			dupCounts[lv.comm[x]]++
 		}
-		for _, m := range partialIDs {
-			dst := ownerOf(m, lv.p)
-			n := counts[m]
-			if n < 1 {
-				n = 1
-			}
+	}
+	for m := 0; m < lv.idSpace; m++ {
+		if rs.pStamp[m] != round {
+			continue
+		}
+		r1Ops++
+		rec := modulePartial{
+			ModID:   m,
+			SumPr:   rs.pSumPr[m],
+			ExitPr:  rs.pExit[m],
+			Members: int(rs.pMembers[m]),
+		}
+		e := sb.For(dst(m, lv.p))
+		rec.encode(e)
+		if lv.cfg.NoDedup {
 			// First copy carries the stats; duplicates carry zeros but
 			// still cost wire bytes, as the naive scheme would.
-			enc(dst, *partials[m])
-			for i := 1; i < n; i++ {
-				enc(dst, modulePartial{ModID: m})
+			for i := 1; i < dupCounts[m]; i++ {
+				modulePartial{ModID: m}.encode(e)
 			}
 		}
-	} else {
-		for _, m := range partialIDs {
-			enc(dst(m, lv.p), *partials[m])
-		}
 	}
-	bufs := make([][]byte, lv.p)
-	for r, e := range encs {
-		if e != nil {
-			bufs[r] = e.Bytes()
-		}
-	}
-	recv := lv.c.Alltoallv(bufs)
+	recv := lv.c.Alltoallv(sb.Bufs())
 
 	// ---- Owner side: sum partials, bump versions, answer subscribers ----
-	type ownedMod struct {
-		mod  mapeq.Module
-		subs []int
-	}
-	owned := make(map[int]*ownedMod)
+	// Contributions accumulate in (source rank, record) order — the
+	// float-summation order the golden results were produced with — and
+	// each module's subscriber list comes out rank-ascending.
+	d := &lv.dec
 	for src, b := range recv {
-		d := mpi.NewDecoder(b)
+		d.Reset(b)
 		for d.Remaining() > 0 {
 			mp := decodeModulePartial(d)
-			om := owned[mp.ModID]
-			if om == nil {
-				om = &ownedMod{}
-				owned[mp.ModID] = om
+			slot := mp.ModID / lv.p
+			if rs.oStamp[slot] != round {
+				rs.oStamp[slot] = round
+				rs.oSumPr[slot] = 0
+				rs.oExit[slot] = 0
+				rs.oMembers[slot] = 0
+				rs.oSubs[slot] = rs.oSubs[slot][:0]
 			}
-			om.mod.SumPr += mp.SumPr
-			om.mod.ExitPr += mp.ExitPr
-			om.mod.Members += mp.Members
-			if len(om.subs) == 0 || om.subs[len(om.subs)-1] != src {
-				om.subs = append(om.subs, src)
+			rs.oSumPr[slot] += mp.SumPr
+			rs.oExit[slot] += mp.ExitPr
+			rs.oMembers[slot] += int32(mp.Members)
+			subs := rs.oSubs[slot]
+			if len(subs) == 0 || subs[len(subs)-1] != int32(src) {
+				rs.oSubs[slot] = append(subs, int32(src))
 			}
 		}
 	}
-	// Count live modules owned here and detect stat changes. Versions
-	// are monotone across the level's lifetime: a module that vanishes
-	// and reappears must NOT restart at an old version number, or a
-	// subscriber whose sentVersion matches the recycled number would
-	// keep stale statistics after an isSent short-form response.
-	// Owned modules are walked in sorted id order: the version bumps
-	// are order-independent, but round 2 below reuses the slice to
-	// encode its replies deterministically.
-	ownedIDs := make([]int, 0, len(owned))
-	for m := range owned {
-		ownedIDs = append(ownedIDs, m)
-	}
-	sort.Ints(ownedIDs)
-	for _, m := range ownedIDs {
-		om := owned[m]
-		if prev, ok := lv.ownedStats[m]; !ok || prev != om.mod {
-			lv.modVersion[m]++
+	// Detect stat changes and count live modules, walking owned slots
+	// ascending (= sorted module-id order). Versions are monotone
+	// across the level's lifetime: a module that vanishes and reappears
+	// must NOT restart at an old version number, or a subscriber whose
+	// sentVersion matches the recycled number would keep stale
+	// statistics after an isSent short-form response.
+	slots := len(rs.oStamp)
+	for slot := 0; slot < slots; slot++ {
+		if rs.oStamp[slot] != round {
+			continue
 		}
-		if om.mod.Members > 0 {
+		mod := mapeq.Module{
+			SumPr:   rs.oSumPr[slot],
+			ExitPr:  rs.oExit[slot],
+			Members: int(rs.oMembers[slot]),
+		}
+		if !lv.ownedHas[slot] || lv.ownedStats[slot] != mod {
+			lv.modVersion[slot]++
+		}
+		if mod.Members > 0 {
 			numModules++
 		}
 	}
-	if lv.ownedStats == nil {
-		lv.ownedStats = make(map[int]mapeq.Module)
-	}
-	//dinfomap:unordered-ok independent delete + monotone version bump per key; no cross-key state
-	for m := range lv.ownedStats {
-		if _, ok := owned[m]; !ok {
-			delete(lv.ownedStats, m)
-			// The next reappearance must be treated as changed.
-			lv.modVersion[m]++
+	// Clean up modules that vanished since the previous refresh: zero
+	// the slot (the dense table's "missing" value) and treat the next
+	// reappearance as changed.
+	for _, slot := range lv.ownedList {
+		if rs.oStamp[slot] != round {
+			lv.ownedStats[slot] = mapeq.Module{}
+			lv.ownedHas[slot] = false
+			lv.modVersion[slot]++
 		}
 	}
 
 	// Round-1 span closes here: partials shuffled and summed at owners.
 	msgs, bytes := commDelta(before, lv.c.Stats())
 	lv.timer.Stop(trace.PhaseRefreshRound1)
-	r1Ops := int64(len(partials))
 	costs.add(trace.PhaseRefreshRound1, trace.RankCost{Ops: r1Ops, Msgs: msgs, Bytes: bytes})
 	lv.jlog.Emit(obs.Event{
 		Stage: lv.jstage, Outer: lv.jouter, Iter: iter,
@@ -388,77 +413,85 @@ func (lv *level) refresh(costs phaseCosts, iter int32) (numModules int64) {
 	lv.c.SetKind(mpi.KindModuleInfo)
 
 	// ---- Round 2: authoritative stats back to subscribers ----
-	encs = make([]*mpi.Encoder, lv.p)
-	for _, m := range ownedIDs {
-		om := owned[m]
-		lv.ownedStats[m] = om.mod
-		for _, dstRank := range om.subs {
-			if encs[dstRank] == nil {
-				encs[dstRank] = mpi.NewEncoder(512)
-			}
-			e := encs[dstRank]
-			unchanged := !lv.cfg.NoDedup && lv.sentVersion[dstRank][m] == lv.modVersion[m]
+	sb.Reset()
+	rs.newOwned = rs.newOwned[:0]
+	for slot := 0; slot < slots; slot++ {
+		if rs.oStamp[slot] != round {
+			continue
+		}
+		m := lv.rank + slot*lv.p
+		mod := mapeq.Module{
+			SumPr:   rs.oSumPr[slot],
+			ExitPr:  rs.oExit[slot],
+			Members: int(rs.oMembers[slot]),
+		}
+		lv.ownedStats[slot] = mod
+		lv.ownedHas[slot] = true
+		rs.newOwned = append(rs.newOwned, int32(slot))
+		for _, dstRank := range rs.oSubs[slot] {
+			e := sb.For(int(dstRank))
+			unchanged := !lv.cfg.NoDedup && lv.sentVersion[dstRank][slot] == lv.modVersion[slot]
 			if unchanged {
 				// Short form: the subscriber already has this version.
 				ModuleInfo{ModID: m, IsSent: true}.encodeShort(e)
 			} else {
 				ModuleInfo{
 					ModID:      m,
-					SumPr:      om.mod.SumPr,
-					ExitPr:     om.mod.ExitPr,
-					NumMembers: om.mod.Members,
+					SumPr:      mod.SumPr,
+					ExitPr:     mod.ExitPr,
+					NumMembers: mod.Members,
 					IsSent:     false,
 				}.encode(e)
-				lv.sentVersion[dstRank][m] = lv.modVersion[m]
+				lv.sentVersion[dstRank][slot] = lv.modVersion[slot]
 			}
 		}
 	}
-	bufs = make([][]byte, lv.p)
-	for r, e := range encs {
-		if e != nil {
-			bufs[r] = e.Bytes()
-		}
-	}
-	recv = lv.c.Alltoallv(bufs)
+	lv.ownedList = append(lv.ownedList[:0], rs.newOwned...)
+	recv = lv.c.Alltoallv(sb.Bufs())
 
 	// ---- Update local module table (Algorithm 3, lines 22-32) ----
-	if lv.delivered == nil {
-		lv.delivered = make(map[int]mapeq.Module)
+	for _, m := range lv.modList {
+		lv.mods[m] = mapeq.Module{}
+		lv.modTracked[m] = false
 	}
-	newMods := make(map[int]mapeq.Module, len(partials))
+	lv.modList = lv.modList[:0]
+	r2Ops := int64(0)
 	for _, b := range recv {
-		d := mpi.NewDecoder(b)
+		d.Reset(b)
 		for d.Remaining() > 0 {
 			mi := decodeModuleInfoMaybeShort(d)
+			r2Ops++
+			var mod mapeq.Module
 			if mi.IsSent {
 				// Unchanged since the last full delivery: restore the
 				// cached authoritative copy (the working table entry
 				// may be dirty from this sweep's optimistic updates).
-				cached, ok := lv.delivered[mi.ModID]
-				checkf(ok, "rank %d: isSent marker for module %d never delivered",
-					lv.rank, mi.ModID)
-				newMods[mi.ModID] = cached
-				continue
+				if !lv.deliveredOk[mi.ModID] {
+					panicf("rank %d: isSent marker for module %d never delivered",
+						lv.rank, mi.ModID)
+				}
+				mod = lv.delivered[mi.ModID]
+			} else {
+				mod = mapeq.Module{
+					SumPr:   mi.SumPr,
+					ExitPr:  mi.ExitPr,
+					Members: mi.NumMembers,
+				}
+				lv.delivered[mi.ModID] = mod
+				lv.deliveredOk[mi.ModID] = true
 			}
-			m := mapeq.Module{
-				SumPr:   mi.SumPr,
-				ExitPr:  mi.ExitPr,
-				Members: mi.NumMembers,
-			}
-			lv.delivered[mi.ModID] = m
-			newMods[mi.ModID] = m
+			lv.mods[mi.ModID] = mod
+			lv.trackMod(mi.ModID)
 		}
 	}
-	lv.mods = newMods
 
 	// ---- Global aggregates and module count (MDL Allreduce) ----
-	// Summation in sorted module order keeps the partial — and with the
-	// fixed-order Allreduce the global aggregates — bit-reproducible.
-	// ownedIDs (sorted above) is exactly lv.ownedStats' key set: round 2
-	// stored every owned module and the cleanup loop deleted the rest.
+	// Summation walks owned slots ascending (= sorted module-id order),
+	// which with the fixed-order Allreduce keeps the global aggregates
+	// bit-reproducible.
 	var part [4]float64
-	for _, m := range ownedIDs {
-		mod := lv.ownedStats[m]
+	for _, slot := range lv.ownedList {
+		mod := lv.ownedStats[slot]
 		if mod.Members == 0 {
 			continue
 		}
@@ -475,30 +508,25 @@ func (lv *level) refresh(costs phaseCosts, iter int32) (numModules int64) {
 		SumQPLogQP: tot[2],
 		SumPlogpP:  lv.vertexTerm,
 	}
+	numModules = int64(tot[3])
 	// Snapshots for the consistent delegate decision of the next
 	// iteration (see broadcastDelegates).
 	lv.refAgg = lv.agg
-	if lv.isHub != nil {
-		if lv.hubFromStats == nil {
-			lv.hubFromStats = make(map[int]mapeq.Module, len(lv.hubs))
-		}
-		for _, h := range lv.hubs {
-			lv.hubFromStats[h] = lv.mods[lv.comm[h]]
-		}
+	for i, h := range lv.hubs {
+		lv.hubFrom[i] = lv.mods[lv.comm[h]]
 	}
 
 	// Round-2 span: authoritative replies delivered, table rebuilt,
 	// aggregates reduced.
 	msgs, bytes = commDelta(before, lv.c.Stats())
 	lv.timer.Stop(trace.PhaseRefreshRound2)
-	r2Ops := int64(len(newMods))
 	costs.add(trace.PhaseRefreshRound2, trace.RankCost{Ops: r2Ops, Msgs: msgs, Bytes: bytes})
 	lv.jlog.Emit(obs.Event{
 		Stage: lv.jstage, Outer: lv.jouter, Iter: iter,
 		Phase: obs.PhaseRefreshRound2, Start: j2, End: lv.jlog.Now(),
 		Ops: r2Ops, Msgs: msgs, Bytes: bytes,
 	})
-	return int64(tot[3])
+	return numModules
 }
 
 func dst(m, p int) int { return ownerOf(m, p) }

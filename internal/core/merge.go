@@ -1,8 +1,6 @@
 package core
 
 import (
-	"sort"
-
 	"dinfomap/internal/mpi"
 	"dinfomap/internal/obs"
 	"dinfomap/internal/trace"
@@ -25,77 +23,109 @@ func (lv *level) mergeShuffle(costs phaseCosts) []mergedArc {
 	prevKind := lv.c.SetKind(mpi.KindMergeShuffle)
 	defer lv.c.SetKind(prevKind)
 
-	// Contract local arcs and pre-accumulate per destination pair to
-	// keep the shuffle payload small.
-	type key struct{ u, v int }
-	acc := make(map[key]float64)
+	// Contract local arcs and pre-accumulate per (cu, cv) pair to keep
+	// the shuffle payload small. The adjacency is walked in CSR order,
+	// each arc j mapping to the contracted pair (aU[j], aV[j]) with
+	// weight lv.adjW[j]; a stable two-pass counting sort (by cv, then
+	// cu) then makes equal pairs adjacent with ties in walk order, so
+	// the run-merge below sums parallel-arc weights in exactly the walk
+	// order — the float order the golden results were produced with —
+	// and emits runs ascending by (cu, cv), byte-identical to the old
+	// sorted-key encode with no map and no comparison sort.
+	m := len(lv.adjV)
+	aU := make([]int, m)
+	aV := make([]int, m)
+	k := 0
 	for i, u := range lv.evalVerts {
 		cu := lv.comm[u]
 		for j := lv.evalOff[i]; j < lv.evalOff[i+1]; j++ {
-			cv := lv.comm[lv.adjV[j]]
-			acc[key{cu, cv}] += lv.adjW[j]
+			aU[k] = cu
+			aV[k] = lv.comm[lv.adjV[j]]
+			k++
 		}
 	}
-	// Encode in sorted (u, v) order so the shuffle payload is
-	// byte-identical run to run; map iteration order would scramble it.
-	keys := make([]key, 0, len(acc))
-	for k := range acc {
-		keys = append(keys, k)
+	cnt := make([]int, lv.idSpace)
+	for _, v := range aV {
+		cnt[v]++
 	}
-	sort.Slice(keys, func(a, b int) bool {
-		if keys[a].u != keys[b].u {
-			return keys[a].u < keys[b].u
+	sum := 0
+	for v := 0; v < lv.idSpace; v++ {
+		n := cnt[v]
+		cnt[v] = sum
+		sum += n
+	}
+	ordV := make([]int32, m)
+	for idx, v := range aV {
+		ordV[cnt[v]] = int32(idx)
+		cnt[v]++
+	}
+	cnt2 := make([]int, lv.idSpace)
+	for _, u := range aU {
+		cnt2[u]++
+	}
+	sum = 0
+	for u := 0; u < lv.idSpace; u++ {
+		n := cnt2[u]
+		cnt2[u] = sum
+		sum += n
+	}
+	ord := make([]int32, m)
+	for _, idx := range ordV {
+		u := aU[idx]
+		ord[cnt2[u]] = idx
+		cnt2[u]++
+	}
+
+	sb := lv.sendBufs
+	sb.Reset()
+	selfSeen := make([]bool, lv.idSpace)
+	ops := int64(0)
+	for s := 0; s < m; {
+		idx := ord[s]
+		u, v := aU[idx], aV[idx]
+		w := lv.adjW[idx]
+		t := s + 1
+		for ; t < m; t++ {
+			j := ord[t]
+			if aU[j] != u || aV[j] != v {
+				break
+			}
+			w += lv.adjW[j]
 		}
-		return keys[a].v < keys[b].v
-	})
-	encs := make([]*mpi.Encoder, lv.p)
-	for _, k := range keys {
-		dstRank := ownerOf(k.u, lv.p)
-		if encs[dstRank] == nil {
-			encs[dstRank] = mpi.NewEncoder(1024)
+		s = t
+		ops++
+		if u == v {
+			selfSeen[u] = true
 		}
-		e := encs[dstRank]
-		e.PutInt(k.u)
-		e.PutInt(k.v)
-		e.PutF64(acc[k])
+		e := sb.For(ownerOf(u, lv.p))
+		e.PutInt(u)
+		e.PutInt(v)
+		e.PutF64(w)
 	}
 	// Isolated owned vertices have no arcs but must survive as vertices
 	// of the merged graph; ship a zero-weight marker to their community
-	// owner so the community remains live. Marker communities are
-	// processed in sorted order for the same reproducibility reason.
-	markers := make(map[int]bool)
+	// owner so the community remains live. The ascending scan processes
+	// marker communities in sorted order for the same reproducibility
+	// reason.
+	marked := make([]bool, lv.idSpace)
 	for _, u := range lv.ownedActive {
-		markers[lv.comm[u]] = true
+		marked[lv.comm[u]] = true
 	}
-	markerIDs := make([]int, 0, len(markers))
-	for cu := range markers {
-		markerIDs = append(markerIDs, cu)
-	}
-	sort.Ints(markerIDs)
-	for _, cu := range markerIDs {
-		if _, ok := acc[key{cu, cu}]; ok {
+	for cu := 0; cu < lv.idSpace; cu++ {
+		if !marked[cu] || selfSeen[cu] {
 			continue
 		}
-		dstRank := ownerOf(cu, lv.p)
-		if encs[dstRank] == nil {
-			encs[dstRank] = mpi.NewEncoder(64)
-		}
-		e := encs[dstRank]
+		e := sb.For(ownerOf(cu, lv.p))
 		e.PutInt(cu)
 		e.PutInt(cu)
 		e.PutF64(0)
 	}
 
-	bufs := make([][]byte, lv.p)
-	for r, e := range encs {
-		if e != nil {
-			bufs[r] = e.Bytes()
-		}
-	}
-	recv := lv.c.Alltoallv(bufs)
+	recv := lv.c.Alltoallv(sb.Bufs())
 	var arcs []mergedArc
+	d := &lv.dec
 	for _, b := range recv {
-		d := mpi.NewDecoder(b)
+		d.Reset(b)
 		for d.Remaining() > 0 {
 			arcs = append(arcs, mergedArc{U: d.Int(), V: d.Int(), W: d.F64()})
 		}
@@ -103,7 +133,6 @@ func (lv *level) mergeShuffle(costs phaseCosts) []mergedArc {
 
 	msgs, bytes := commDelta(before, lv.c.Stats())
 	lv.timer.Stop(trace.PhaseMergeShuffle)
-	ops := int64(len(acc))
 	costs.add(trace.PhaseMergeShuffle, trace.RankCost{Ops: ops, Msgs: msgs, Bytes: bytes})
 	lv.jlog.Emit(obs.Event{
 		Stage: lv.jstage, Outer: lv.jouter, Iter: -1,
@@ -117,18 +146,28 @@ func (lv *level) mergeShuffle(costs phaseCosts) []mergedArc {
 // owned live vertices, so every rank can project the level's result
 // onto deeper state. The merged levels this runs on are small, which is
 // why the paper switches to plain 1D partitioning after the first merge.
-func (lv *level) gatherAssignments() map[int]int {
+// The result is dense over the id space with -1 for dead ids; out is
+// reused when its capacity suffices.
+func (lv *level) gatherAssignments(out []int) []int {
 	prevKind := lv.c.SetKind(mpi.KindAssignment)
 	defer lv.c.SetKind(prevKind)
-	e := mpi.NewEncoder(len(lv.ownedActive) * 16)
+	e := lv.enc
+	e.Reset()
 	for _, u := range lv.ownedActive {
 		e.PutInt(u)
 		e.PutInt(lv.comm[u])
 	}
 	parts := lv.c.AllgatherBytes(e.Bytes())
-	out := make(map[int]int)
+	if cap(out) < lv.idSpace {
+		out = make([]int, lv.idSpace)
+	}
+	out = out[:lv.idSpace]
+	for i := range out {
+		out[i] = -1
+	}
+	d := &lv.dec
 	for _, b := range parts {
-		d := mpi.NewDecoder(b)
+		d.Reset(b)
 		for d.Remaining() > 0 {
 			u := d.Int()
 			out[u] = d.Int()

@@ -254,6 +254,7 @@ func (rs *runState) rankBody(c *mpi.Comm) {
 	idSpace := lv.idSpace
 	vertexTerm := lv.vertexTerm
 	cur := lv
+	var next []int
 	for outer := 1; outer < cfg.MaxOuterIterations; outer++ {
 		if prevLive <= 1 {
 			break
@@ -265,10 +266,12 @@ func (rs *runState) rankBody(c *mpi.Comm) {
 		iters2 += oc.iterations
 		deltaEvals += merged.deltaEvals
 
-		next := merged.gatherAssignments()
+		next = merged.gatherAssignments(next)
 		for i := range origComm {
-			nc, ok := next[origComm[i]]
-			checkf(ok, "rank %d: community %d missing from gathered assignment", rank, origComm[i])
+			nc := next[origComm[i]]
+			if nc < 0 {
+				panicf("rank %d: community %d missing from gathered assignment", rank, origComm[i])
+			}
 			origComm[i] = nc
 		}
 		mdlTrace = append(mdlTrace, oc.finalL)

@@ -1,8 +1,6 @@
 package core
 
 import (
-	"sort"
-
 	"dinfomap/internal/gen"
 	"dinfomap/internal/mapeq"
 	"dinfomap/internal/mpi"
@@ -17,7 +15,15 @@ import (
 //
 // Vertex ids live in a fixed id space [0, idSpace); at merged levels the
 // live ids are the community founder ids, a sparse subset. Ownership is
-// always id mod P.
+// always id mod P, so the ids homed on this rank are rank, rank+P, ...;
+// "slot" below means an owner-side dense index id/P for that sequence
+// (ascending slot order is ascending id order).
+//
+// All per-level hot state is held in flat slices indexed by vertex id,
+// hub position, or owned slot — never maps — so the sweep, exchange,
+// and merge loops do no hashing, no map iteration, and no
+// collect-then-sort passes: determinism-critical orders (ascending ids,
+// fixed float accumulation) fall out of plain index scans.
 type level struct {
 	c   *mpi.Comm
 	cfg *Config
@@ -34,17 +40,23 @@ type level struct {
 
 	// isHub marks delegated vertices; nil at delegate-free levels.
 	isHub []bool
-	// hubs lists delegated vertex ids (identical on all ranks).
-	hubs []int
+	// hubs lists delegated vertex ids (identical on all ranks);
+	// hubIndex maps a vertex id to its position in hubs (-1 = not a
+	// hub), and hubFrom[i] snapshots, at refresh time, the stats of
+	// the module currently holding hubs[i] (identical on all ranks).
+	hubs     []int
+	hubIndex []int32
+	hubFrom  []mapeq.Module
 	// ownedActive lists the live vertex ids owned by this rank.
 	ownedActive []int
 	// ghosts lists visible non-owned, non-hub vertex ids.
 	ghosts []int
-	// subscribers maps an owned vertex to the ranks ghosting it.
-	subscribers map[int][]int
-	// subList caches the subscribed vertex ids, sorted, so the per-sweep
-	// ghost-update encode walks subscribers in a deterministic order.
-	subList []int
+	// Ghost subscriptions in CSR form: owned vertex subVerts[i]
+	// (ascending) is ghosted by ranks subRanks[subOff[i]:subOff[i+1]]
+	// (ascending), so the per-sweep ghost-update encode is one scan.
+	subVerts []int
+	subOff   []int32
+	subRanks []int32
 
 	// Flow quantities, indexed by vertex id; only visible entries are
 	// read. vertexTerm is the constant original-graph term of Eq. 3.
@@ -55,15 +67,23 @@ type level struct {
 
 	// comm is the locally known assignment; valid for visible vertices.
 	comm []int
-	// mods is the locally known module table. It is mutated by local
+	// mods is the locally known module table, dense over the id space.
+	// Unknown modules hold the exact zero Module (the map-missing
+	// convention of the old representation); modList tracks the slots
+	// that may be non-zero, with modTracked as its membership bitmap,
+	// so each refresh clears O(live) entries. It is mutated by local
 	// moves during a sweep and rebuilt to authoritative values at every
 	// refresh.
-	mods map[int]mapeq.Module
+	mods       []mapeq.Module
+	modList    []int
+	modTracked []bool
 	// delivered caches the last authoritative statistics received for
-	// each module. isSent short-form responses resolve against this
-	// cache — NOT against mods, whose entries may be dirty from the
-	// local sweep's optimistic updates.
-	delivered map[int]mapeq.Module
+	// each module (deliveredOk marks slots that ever were). isSent
+	// short-form responses resolve against this cache — NOT against
+	// mods, whose entries may be dirty from the local sweep's
+	// optimistic updates.
+	delivered   []mapeq.Module
+	deliveredOk []bool
 	// agg holds the global Eq. 3 aggregates, exact after each refresh
 	// and updated optimistically by local moves during a sweep.
 	agg mapeq.Aggregates
@@ -71,21 +91,35 @@ type level struct {
 	// ranks; delegate decisions evaluate against it so every rank
 	// reaches the same verdict.
 	refAgg mapeq.Aggregates
-	// hubFromStats snapshots, at refresh time, the stats of the module
-	// currently holding each hub (identical on all ranks).
-	hubFromStats map[int]mapeq.Module
-	// evalIndex maps a vertex id to its position in evalVerts.
-	evalIndex map[int]int
+	// evalIndexOf maps a vertex id to its position in evalVerts
+	// (-1 = not evaluated on this rank).
+	evalIndexOf []int32
 	// visList caches the visible vertex ids, sorted.
 	visList []int
-	// ownedStats is the authoritative statistics of modules homed on
-	// this rank, rebuilt by every refresh.
-	ownedStats map[int]mapeq.Module
-	// modVersion counts stat changes of modules owned by this rank
-	// (home = id mod P); used for isSent deduplication.
-	modVersion map[int]int
-	// sentVersion[dst][mod] is the version last sent to rank dst.
-	sentVersion []map[int]int
+	// Owner-side module state, dense by owned slot: ownedStats holds
+	// the authoritative statistics of modules homed on this rank
+	// (exact zero when dead), ownedHas marks the live slots, and
+	// ownedList caches them ascending — all rebuilt by every refresh.
+	ownedStats []mapeq.Module
+	ownedHas   []bool
+	ownedList  []int32
+	// modVersion counts stat changes of modules owned by this rank,
+	// monotone across the level's lifetime; sentVersion[dst][slot] is
+	// the version last sent to rank dst, for isSent deduplication.
+	modVersion  []int32
+	sentVersion [][]int32
+
+	// sendBufs is the pooled per-destination encoder set reused by
+	// every alltoallv-style exchange on this level; enc and dec are the
+	// pooled single-payload encoder and decoder for allgather rounds.
+	sendBufs *mpi.SendBuffers
+	enc      *mpi.Encoder
+	dec      mpi.Decoder
+
+	// rsch and dsch hold the refresh and delegate-round scratch arrays
+	// (stamp-cleared per round, allocated once per level).
+	rsch *refreshScratch
+	dsch *delegateScratch
 
 	timer *trace.Timer
 	// jlog receives this rank's journal events (nil = journaling off);
@@ -104,48 +138,148 @@ type level struct {
 	deferred int
 }
 
-// visibleSet returns every vertex id this rank sees: eval vertices,
-// their neighbors, owned vertices, and hubs.
-func (lv *level) visibleSet() map[int]bool {
-	vis := make(map[int]bool)
-	for _, u := range lv.evalVerts {
-		vis[u] = true
+// refreshScratch holds refresh's per-round accumulators. The p* arrays
+// are local partials by module id; the o* arrays are owner-side sums by
+// owned slot. Entries are valid only when their stamp equals the
+// current round, so no per-refresh clearing pass is needed.
+type refreshScratch struct {
+	round    int32
+	pSumPr   []float64
+	pExit    []float64
+	pMembers []int32
+	pStamp   []int32
+	oSumPr   []float64
+	oExit    []float64
+	oMembers []int32
+	oStamp   []int32
+	oSubs    [][]int32
+	newOwned []int32
+}
+
+// delegateScratch holds broadcastDelegates' per-round state, indexed by
+// hub position (see level.hubIndex). stamp marks positions written this
+// round; sel lists them ascending, which is ascending hub-id order.
+type delegateScratch struct {
+	round    int32
+	stamp    []int32
+	cand     []hubCandidate
+	proposer []int32
+	sel      []int32
+	sumTo    []float64
+	sumFrom  []float64
+	target   []mapeq.Module
+}
+
+// ownedSlots returns the number of owner-side slots on this rank: the
+// count of ids in [0, idSpace) with id mod P == rank.
+func (lv *level) ownedSlots() int {
+	n := lv.idSpace - lv.rank
+	if n <= 0 {
+		return 0
 	}
-	for _, v := range lv.adjV {
-		vis[v] = true
+	return (n + lv.p - 1) / lv.p
+}
+
+// trackMod marks module m as possibly non-zero in the local table so
+// the next refresh clears it.
+func (lv *level) trackMod(m int) {
+	if !lv.modTracked[m] {
+		lv.modTracked[m] = true
+		lv.modList = append(lv.modList, m)
 	}
-	for _, u := range lv.ownedActive {
-		vis[u] = true
-	}
-	for _, h := range lv.hubs {
-		vis[h] = true
-	}
-	return vis
 }
 
 // initLocalState initializes the singleton assignment, the module
 // table, ghost lists, and ghost subscriptions. Called by both level
 // constructors after the adjacency is in place.
 func (lv *level) initLocalState() {
-	vis := lv.visibleSet()
-	lv.visList = make([]int, 0, len(vis))
-	for v := range vis {
-		lv.visList = append(lv.visList, v)
+	n := lv.idSpace
+	// Visible vertices: eval vertices, their neighbors, owned vertices,
+	// and hubs. One ascending scan over the mark array yields the
+	// sorted list directly — no collect-then-sort.
+	seen := make([]bool, n)
+	for _, u := range lv.evalVerts {
+		seen[u] = true
 	}
-	sort.Ints(lv.visList)
-	lv.comm = make([]int, lv.idSpace)
+	for _, v := range lv.adjV {
+		seen[v] = true
+	}
+	for _, u := range lv.ownedActive {
+		seen[u] = true
+	}
+	for _, h := range lv.hubs {
+		seen[h] = true
+	}
+	lv.visList = lv.visList[:0]
+	for v := 0; v < n; v++ {
+		if seen[v] {
+			lv.visList = append(lv.visList, v)
+		}
+	}
+
+	lv.comm = make([]int, n)
 	for v := range lv.comm {
 		lv.comm[v] = v
 	}
-	lv.mods = make(map[int]mapeq.Module, len(vis))
+	lv.mods = make([]mapeq.Module, n)
+	lv.modTracked = make([]bool, n)
+	lv.modList = make([]int, 0, len(lv.visList))
 	for _, v := range lv.visList {
 		lv.mods[v] = mapeq.Module{SumPr: lv.visit[v], ExitPr: lv.exitP[v], Members: 1}
+		lv.modList = append(lv.modList, v)
+		lv.modTracked[v] = true
 	}
-	lv.modVersion = make(map[int]int)
-	lv.sentVersion = make([]map[int]int, lv.p)
+	lv.delivered = make([]mapeq.Module, n)
+	lv.deliveredOk = make([]bool, n)
+
+	slots := lv.ownedSlots()
+	lv.ownedStats = make([]mapeq.Module, slots)
+	lv.ownedHas = make([]bool, slots)
+	lv.ownedList = make([]int32, 0, slots)
+	lv.modVersion = make([]int32, slots)
+	lv.sentVersion = make([][]int32, lv.p)
 	for r := range lv.sentVersion {
-		lv.sentVersion[r] = make(map[int]int)
+		lv.sentVersion[r] = make([]int32, slots)
 	}
+
+	lv.evalIndexOf = make([]int32, n)
+	for v := range lv.evalIndexOf {
+		lv.evalIndexOf[v] = -1
+	}
+	for i, u := range lv.evalVerts {
+		lv.evalIndexOf[u] = int32(i)
+	}
+	if lv.isHub != nil {
+		lv.hubIndex = make([]int32, n)
+		for v := range lv.hubIndex {
+			lv.hubIndex[v] = -1
+		}
+		for i, h := range lv.hubs {
+			lv.hubIndex[h] = int32(i)
+		}
+		lv.hubFrom = make([]mapeq.Module, len(lv.hubs))
+		lv.dsch = &delegateScratch{
+			stamp:    make([]int32, len(lv.hubs)),
+			cand:     make([]hubCandidate, len(lv.hubs)),
+			proposer: make([]int32, len(lv.hubs)),
+			sel:      make([]int32, 0, len(lv.hubs)),
+			target:   make([]mapeq.Module, len(lv.hubs)),
+		}
+	}
+	lv.rsch = &refreshScratch{
+		pSumPr:   make([]float64, n),
+		pExit:    make([]float64, n),
+		pMembers: make([]int32, n),
+		pStamp:   make([]int32, n),
+		oSumPr:   make([]float64, slots),
+		oExit:    make([]float64, slots),
+		oMembers: make([]int32, slots),
+		oStamp:   make([]int32, slots),
+		oSubs:    make([][]int32, slots),
+		newOwned: make([]int32, 0, slots),
+	}
+	lv.sendBufs = mpi.NewSendBuffers(lv.p)
+	lv.enc = mpi.NewEncoder(256)
 
 	// Ghosts: visible, not owned, not a hub. visList is sorted, so the
 	// ghost list comes out sorted too.
@@ -158,36 +292,49 @@ func (lv *level) initLocalState() {
 
 	// Ghost registration: tell each ghost's owner that this rank needs
 	// updates for it. This is part of preprocessing in the paper.
-	bufs := make([][]byte, lv.p)
-	encs := make([]*mpi.Encoder, lv.p)
+	sb := lv.sendBufs
+	sb.Reset()
 	for _, v := range lv.ghosts {
-		o := ownerOf(v, lv.p)
-		if encs[o] == nil {
-			encs[o] = mpi.NewEncoder(64)
-		}
-		encs[o].PutInt(v)
-	}
-	for r, e := range encs {
-		if e != nil {
-			bufs[r] = e.Bytes()
-		}
+		sb.For(ownerOf(v, lv.p)).PutInt(v)
 	}
 	prevKind := lv.c.SetKind(mpi.KindSetup)
-	recv := lv.c.Alltoallv(bufs)
+	recv := lv.c.Alltoallv(sb.Bufs())
 	lv.c.SetKind(prevKind)
-	lv.subscribers = make(map[int][]int)
-	for src, b := range recv {
-		d := mpi.NewDecoder(b)
+
+	// Build the subscription CSR: count per vertex, prefix offsets,
+	// then a second decode pass filling ranks. Sources arrive in rank
+	// order, so each vertex's rank list is ascending.
+	counts := make([]int32, n)
+	subPos := make([]int32, n)
+	total := int32(0)
+	d := &lv.dec
+	for _, b := range recv {
+		d.Reset(b)
 		for d.Remaining() > 0 {
-			v := d.Int()
-			lv.subscribers[v] = append(lv.subscribers[v], src)
+			counts[d.Int()]++
+			total++
 		}
 	}
-	lv.subList = make([]int, 0, len(lv.subscribers))
-	for v := range lv.subscribers {
-		lv.subList = append(lv.subList, v)
+	lv.subVerts = lv.subVerts[:0]
+	for v := 0; v < n; v++ {
+		if counts[v] > 0 {
+			lv.subVerts = append(lv.subVerts, v)
+		}
 	}
-	sort.Ints(lv.subList)
+	lv.subOff = make([]int32, len(lv.subVerts)+1)
+	for i, v := range lv.subVerts {
+		lv.subOff[i+1] = lv.subOff[i] + counts[v]
+		subPos[v] = lv.subOff[i]
+	}
+	lv.subRanks = make([]int32, total)
+	for src, b := range recv {
+		d.Reset(b)
+		for d.Remaining() > 0 {
+			v := d.Int()
+			lv.subRanks[subPos[v]] = int32(src)
+			subPos[v]++
+		}
+	}
 }
 
 // newStage1Level builds the delegate-partitioned level from the global
@@ -217,24 +364,31 @@ func newStage1Level(c *mpi.Comm, cfg *Config, layout *partition.Layout,
 		}
 	}
 
-	// Group this rank's arcs by evaluation vertex into CSR.
+	// Group this rank's arcs by evaluation vertex into CSR. Degrees are
+	// counted into a dense array and eval vertices collected by one
+	// ascending scan, so they come out sorted without a sort pass.
 	arcs := layout.RankArcs[rank]
-	counts := make(map[int]int)
+	deg := make([]int32, lv.idSpace)
 	for _, a := range arcs {
-		counts[a.U]++
+		deg[a.U]++
 	}
-	lv.evalVerts = make([]int, 0, len(counts))
-	for u := range counts {
+	nEval := 0
+	for u := 0; u < lv.idSpace; u++ {
+		if deg[u] > 0 {
+			nEval++
+		}
+	}
+	lv.evalVerts = make([]int, 0, nEval)
+	index := make([]int32, lv.idSpace)
+	lv.evalOff = make([]int, 1, nEval+1)
+	for u := 0; u < lv.idSpace; u++ {
+		if deg[u] == 0 {
+			continue
+		}
+		index[u] = int32(len(lv.evalVerts))
 		lv.evalVerts = append(lv.evalVerts, u)
+		lv.evalOff = append(lv.evalOff, lv.evalOff[len(lv.evalOff)-1]+int(deg[u]))
 	}
-	sort.Ints(lv.evalVerts)
-	index := make(map[int]int, len(lv.evalVerts))
-	lv.evalOff = make([]int, len(lv.evalVerts)+1)
-	for i, u := range lv.evalVerts {
-		index[u] = i
-		lv.evalOff[i+1] = lv.evalOff[i] + counts[u]
-	}
-	lv.evalIndex = index
 	lv.adjV = make([]int, len(arcs))
 	lv.adjW = make([]float64, len(arcs))
 	cursor := make([]int, len(lv.evalVerts))
@@ -282,48 +436,66 @@ func newMergedLevel(c *mpi.Comm, cfg *Config, idSpace int, arcs []mergedArc,
 	}
 
 	// Accumulate parallel arcs: (u, v) pairs may arrive from several
-	// source ranks. All downstream walks go through the sorted key
-	// slice so neighbor order is deterministic from the start.
-	type key struct{ u, v int }
-	acc := make(map[key]float64, len(arcs))
+	// source ranks. A stable two-pass counting sort (by v, then by u)
+	// makes duplicates adjacent while keeping ties in arrival order, so
+	// the run-merging pass below accumulates weights in exactly the
+	// order they arrived — the float-summation order the golden results
+	// were produced with — and emits merged arcs in ascending (u, v)
+	// order with no comparison sort.
+	m := len(arcs)
+	cnt := make([]int, idSpace)
 	for _, a := range arcs {
-		acc[key{a.U, a.V}] += a.W
+		cnt[a.V]++
 	}
-	keys := make([]key, 0, len(acc))
-	for k := range acc {
-		keys = append(keys, k)
+	sum := 0
+	for v := 0; v < idSpace; v++ {
+		k := cnt[v]
+		cnt[v] = sum
+		sum += k
 	}
-	sort.Slice(keys, func(a, b int) bool {
-		if keys[a].u != keys[b].u {
-			return keys[a].u < keys[b].u
+	ordV := make([]int32, m)
+	for idx, a := range arcs {
+		ordV[cnt[a.V]] = int32(idx)
+		cnt[a.V]++
+	}
+	cnt2 := make([]int, idSpace)
+	for _, a := range arcs {
+		cnt2[a.U]++
+	}
+	sum = 0
+	for u := 0; u < idSpace; u++ {
+		k := cnt2[u]
+		cnt2[u] = sum
+		sum += k
+	}
+	ord := make([]int32, m)
+	for _, idx := range ordV {
+		u := arcs[idx].U
+		ord[cnt2[u]] = idx
+		cnt2[u]++
+	}
+	// Run-merge into CSR: runs of equal (u, v) collapse to one arc; a
+	// change of u opens the next eval vertex.
+	lv.evalOff = make([]int, 1, 16)
+	for s := 0; s < m; {
+		a := arcs[ord[s]]
+		w := a.W
+		t := s + 1
+		for ; t < m; t++ {
+			b := arcs[ord[t]]
+			if b.U != a.U || b.V != a.V {
+				break
+			}
+			w += b.W
 		}
-		return keys[a].v < keys[b].v
-	})
-	counts := make(map[int]int)
-	for _, k := range keys {
-		counts[k.u]++
-	}
-	lv.evalVerts = make([]int, 0, len(counts))
-	for u := range counts {
-		lv.evalVerts = append(lv.evalVerts, u)
-	}
-	sort.Ints(lv.evalVerts)
-	index := make(map[int]int, len(lv.evalVerts))
-	lv.evalOff = make([]int, len(lv.evalVerts)+1)
-	for i, u := range lv.evalVerts {
-		index[u] = i
-		lv.evalOff[i+1] = lv.evalOff[i] + counts[u]
-	}
-	lv.evalIndex = index
-	lv.adjV = make([]int, len(acc))
-	lv.adjW = make([]float64, len(acc))
-	cursor := make([]int, len(lv.evalVerts))
-	copy(cursor, lv.evalOff[:len(lv.evalVerts)])
-	for _, k := range keys {
-		i := index[k.u]
-		lv.adjV[cursor[i]] = k.v
-		lv.adjW[cursor[i]] = acc[k]
-		cursor[i]++
+		s = t
+		if len(lv.evalVerts) == 0 || lv.evalVerts[len(lv.evalVerts)-1] != a.U {
+			lv.evalVerts = append(lv.evalVerts, a.U)
+			lv.evalOff = append(lv.evalOff, lv.evalOff[len(lv.evalOff)-1])
+		}
+		lv.evalOff[len(lv.evalOff)-1]++
+		lv.adjV = append(lv.adjV, a.V)
+		lv.adjW = append(lv.adjW, w)
 	}
 	lv.ownedActive = append(lv.ownedActive, lv.evalVerts...)
 
@@ -334,7 +506,6 @@ func newMergedLevel(c *mpi.Comm, cfg *Config, idSpace int, arcs []mergedArc,
 	// smaller than the original (paper Section 3.2), so this collective
 	// is cheap.
 	e := mpi.NewEncoder(len(lv.evalVerts) * 24)
-	strengths := make(map[int][2]float64, len(lv.evalVerts)) // id -> {strength, selfW}
 	for i, u := range lv.evalVerts {
 		strength, selfW := 0.0, 0.0
 		for j := lv.evalOff[i]; j < lv.evalOff[i+1]; j++ {
@@ -345,7 +516,6 @@ func newMergedLevel(c *mpi.Comm, cfg *Config, idSpace int, arcs []mergedArc,
 				strength += lv.adjW[j]
 			}
 		}
-		strengths[u] = [2]float64{strength, selfW}
 		e.PutInt(u)
 		e.PutF64(strength)
 		e.PutF64(selfW)
@@ -353,29 +523,31 @@ func newMergedLevel(c *mpi.Comm, cfg *Config, idSpace int, arcs []mergedArc,
 	prevKind := lv.c.SetKind(mpi.KindSetup)
 	parts := lv.c.AllgatherBytes(e.Bytes())
 	lv.c.SetKind(prevKind)
+	// Stash (strength, selfW) in the flow arrays during decode, then
+	// normalize in place once totalStrength (= 2W of the merged graph,
+	// = 2W of the original) is known. Dead ids stay exactly zero.
 	lv.visit = make([]float64, idSpace)
 	lv.exitP = make([]float64, idSpace)
 	totalStrength := 0.0
-	type flowRec struct{ strength, selfW float64 }
-	all := make(map[int]flowRec)
+	d := &lv.dec
 	for _, b := range parts {
-		d := mpi.NewDecoder(b)
+		d.Reset(b)
 		for d.Remaining() > 0 {
 			u := d.Int()
 			s := d.F64()
 			sw := d.F64()
-			all[u] = flowRec{s, sw}
+			lv.visit[u] = s
+			lv.exitP[u] = sw
 			totalStrength += s
 		}
 	}
-	// totalStrength = 2W of the merged graph (= 2W of the original).
 	if totalStrength > 0 {
 		lv.inv2W = 1 / totalStrength
 	}
-	//dinfomap:unordered-ok independent writes to distinct array slots; no cross-entry state
-	for u, fr := range all {
-		lv.visit[u] = fr.strength * lv.inv2W
-		lv.exitP[u] = (fr.strength - 2*fr.selfW) * lv.inv2W
+	for u := 0; u < idSpace; u++ {
+		strength, selfW := lv.visit[u], lv.exitP[u]
+		lv.visit[u] = strength * lv.inv2W
+		lv.exitP[u] = (strength - 2*selfW) * lv.inv2W
 	}
 
 	lv.initLocalState()

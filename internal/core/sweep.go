@@ -10,6 +10,7 @@ type sweepScratch struct {
 	remote  []bool    // community reached through a non-owned vertex
 	touched []int
 	order   []int // permutation over evalVerts indices
+	cands   []hubCandidate
 }
 
 func (lv *level) newScratch() *sweepScratch {
@@ -81,8 +82,9 @@ func (lv *level) sweep(s *sweepScratch, budget int) (moves, deferred int, hubCan
 			if lv.isHub != nil && lv.isHub[u] {
 				continue // delegates are handled after local quiescence
 			}
-			checkf(ownerOf(u, lv.p) == lv.rank,
-				"rank %d evaluating non-owned non-hub vertex %d", lv.rank, u)
+			if ownerOf(u, lv.p) != lv.rank {
+				panicf("rank %d evaluating non-owned non-hub vertex %d", lv.rank, u)
+			}
 			if lv.moveVertex(s, i, u) {
 				passMoves++
 			}
@@ -94,17 +96,18 @@ func (lv *level) sweep(s *sweepScratch, budget int) (moves, deferred int, hubCan
 		}
 	}
 	// Delegate proposal pass: evaluate each local hub portion once.
+	s.cands = s.cands[:0]
 	for _, h := range lv.hubs {
-		i, ok := lv.evalIndex[h]
-		if !ok {
+		i := lv.evalIndexOf[h]
+		if i < 0 {
 			continue
 		}
-		if target, delta, ok := lv.bestTarget(s, i, h); ok {
-			hubCands = append(hubCands, hubCandidate{Hub: h, Target: target, DeltaL: delta})
+		if target, delta, ok := lv.bestTarget(s, int(i), h); ok {
+			s.cands = append(s.cands, hubCandidate{Hub: h, Target: target, DeltaL: delta})
 		}
 		lv.clearWTo(s)
 	}
-	return moves, deferred, hubCands
+	return moves, deferred, s.cands
 }
 
 // bestTarget evaluates all neighbor modules of eval vertex index i
@@ -171,7 +174,7 @@ func (lv *level) moveVertex(s *sweepScratch, i, u int) bool {
 	bestC, bestDelta, ok := lv.bestTarget(s, i, u)
 	from := lv.comm[u]
 	escape := false
-	if from != u && lv.ownedStats[u].Members == 0 && lv.mods[u].Members == 0 {
+	if from != u && lv.ownedStats[u/lv.p].Members == 0 && lv.mods[u].Members == 0 {
 		mv := mapeq.Move{
 			PU:      lv.visit[u],
 			ExitU:   lv.exitP[u],
@@ -221,6 +224,8 @@ func (lv *level) moveVertex(s *sweepScratch, i, u int) bool {
 	lv.agg, nf, nt = mapeq.ApplyMove(lv.agg, lv.mods[from], lv.mods[bestC], mv)
 	lv.mods[from] = nf
 	lv.mods[bestC] = nt
+	lv.trackMod(from)
+	lv.trackMod(bestC)
 	lv.comm[u] = bestC
 	return true
 }

@@ -3,27 +3,56 @@
 // Jaccard index (Table 2), plus Newman modularity as a general-purpose
 // reference measure. All comparisons are between two flat partitions of
 // the same vertex set, given as per-vertex community labels.
+//
+// Every measure accumulates its floating-point sums in a fixed order
+// (dense first-appearance label indices, joint cells ascending), so
+// repeated evaluations of the same pair of partitions are bit-identical
+// — no map-iteration wobble in reported quality numbers.
 package metrics
 
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"dinfomap/internal/graph"
 )
 
-// contingency builds the contingency table between two labelings as a
-// sparse map, plus the marginal cluster sizes.
-func contingency(a, b []int) (joint map[[2]int]int, sizeA, sizeB map[int]int) {
-	joint = make(map[[2]int]int)
-	sizeA = make(map[int]int)
-	sizeB = make(map[int]int)
-	for i := range a {
-		joint[[2]int{a[i], b[i]}]++
-		sizeA[a[i]]++
-		sizeB[b[i]]++
+// cell is one non-empty entry of the contingency table between two
+// partitions, in dense label indices.
+type cell struct {
+	ai, bi int // dense cluster indices in A and B
+	n      int // number of vertices in both clusters
+}
+
+// contingency builds the contingency table between two labelings.
+// Labels are compacted to dense indices in first-appearance order; the
+// joint counts come back as cells sorted ascending by (ai, bi) and the
+// marginal cluster sizes as dense slices. Iterating any of these is
+// order-deterministic, which keeps the float summations in NMI and the
+// pair counts reproducible bit-for-bit.
+func contingency(a, b []int) (cells []cell, sizeA, sizeB []int) {
+	da, ka := graph.Renumber(a)
+	db, kb := graph.Renumber(b)
+	sizeA = make([]int, ka)
+	sizeB = make([]int, kb)
+	keys := make([]int, len(a))
+	for i := range da {
+		sizeA[da[i]]++
+		sizeB[db[i]]++
+		keys[i] = da[i]*kb + db[i]
 	}
-	return joint, sizeA, sizeB
+	sort.Ints(keys)
+	for i := 0; i < len(keys); {
+		k := keys[i]
+		j := i + 1
+		for j < len(keys) && keys[j] == k {
+			j++
+		}
+		cells = append(cells, cell{ai: k / kb, bi: k % kb, n: j - i})
+		i = j
+	}
+	return cells, sizeA, sizeB
 }
 
 func checkSameLength(a, b []int) {
@@ -43,12 +72,12 @@ func NMI(a, b []int) float64 {
 	if n == 0 {
 		return 1
 	}
-	joint, sa, sb := contingency(a, b)
+	cells, sa, sb := contingency(a, b)
 	var mi float64
-	for key, nij := range joint {
-		pij := float64(nij) / n
-		pa := float64(sa[key[0]]) / n
-		pb := float64(sb[key[1]]) / n
+	for _, c := range cells {
+		pij := float64(c.n) / n
+		pa := float64(sa[c.ai]) / n
+		pb := float64(sb[c.bi]) / n
 		mi += pij * math.Log2(pij/(pa*pb))
 	}
 	ha := entropy(sa, n)
@@ -72,7 +101,7 @@ func NMI(a, b []int) float64 {
 	return v
 }
 
-func entropy(sizes map[int]int, n float64) float64 {
+func entropy(sizes []int, n float64) float64 {
 	var h float64
 	for _, s := range sizes {
 		p := float64(s) / n
@@ -85,13 +114,13 @@ func entropy(sizes map[int]int, n float64) float64 {
 
 // pairCounts returns the pair-counting statistics between two
 // partitions: a11 pairs together in both, a10 together in A only, a01
-// together in B only. Uses the contingency table, O(n + cells).
+// together in B only. Uses the contingency table, O(n log n + cells).
 func pairCounts(a, b []int) (a11, a10, a01 float64) {
-	joint, sa, sb := contingency(a, b)
+	cells, sa, sb := contingency(a, b)
 	choose2 := func(x int) float64 { return float64(x) * float64(x-1) / 2 }
 	var sumJoint, sumA, sumB float64
-	for _, nij := range joint {
-		sumJoint += choose2(nij)
+	for _, c := range cells {
+		sumJoint += choose2(c.n)
 	}
 	for _, s := range sa {
 		sumA += choose2(s)
@@ -138,6 +167,8 @@ func Jaccard(a, b []int) float64 {
 // Modularity returns the Newman modularity Q of the partition comm on g:
 // Q = sum_c [ in_c/(2W) - (tot_c/(2W))^2 ], where in_c is twice the
 // intra-community weight and tot_c the total strength of community c.
+// Communities are renumbered densely so the final reduction over
+// communities runs in first-appearance order, deterministically.
 func Modularity(g *graph.Graph, comm []int) float64 {
 	if len(comm) != g.NumVertices() {
 		panic(fmt.Sprintf("metrics: assignment over %d vertices for graph with %d",
@@ -148,29 +179,26 @@ func Modularity(g *graph.Graph, comm []int) float64 {
 	if w2 == 0 {
 		return 0
 	}
-	in := make(map[int]float64)  // twice intra-community weight
-	tot := make(map[int]float64) // community strength
+	dense, k := graph.Renumber(comm)
+	in := make([]float64, k)  // twice intra-community weight
+	tot := make([]float64, k) // community strength
 	for u := 0; u < g.NumVertices(); u++ {
 		g.Neighbors(u, func(v int, w float64) {
 			if v == u {
 				w *= 2 // self-loop counts twice in strength
-				in[comm[u]] += w
-				tot[comm[u]] += w
+				in[dense[u]] += w
+				tot[dense[u]] += w
 				return
 			}
-			tot[comm[u]] += w
-			if comm[v] == comm[u] {
-				in[comm[u]] += w
+			tot[dense[u]] += w
+			if dense[v] == dense[u] {
+				in[dense[u]] += w
 			}
 		})
 	}
 	var q float64
-	for c, inW := range in {
-		q += inW / w2
-		_ = c
-	}
-	for _, totW := range tot {
-		q -= (totW / w2) * (totW / w2)
+	for c := 0; c < k; c++ {
+		q += in[c]/w2 - (tot[c]/w2)*(tot[c]/w2)
 	}
 	return q
 }

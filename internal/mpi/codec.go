@@ -56,6 +56,13 @@ type Decoder struct {
 // NewDecoder wraps a payload for reading.
 func NewDecoder(b []byte) *Decoder { return &Decoder{buf: b} }
 
+// Reset points the decoder at a new payload, reusing the Decoder value
+// so steady-state decode loops allocate nothing.
+func (d *Decoder) Reset(b []byte) {
+	d.buf = b
+	d.off = 0
+}
+
 // Remaining returns how many unread bytes are left.
 func (d *Decoder) Remaining() int { return len(d.buf) - d.off }
 

@@ -25,9 +25,18 @@ const (
 //
 // The two barriers make each collective a full synchronization point,
 // mirroring MPI's blocking collectives.
+//
+// Receive-side storage is pooled per Comm: the slices returned by
+// AllgatherBytes, Alltoallv, and AllreduceSumF64s are valid only until
+// the next collective on the same Comm. Callers must decode (or copy)
+// before communicating again — every caller in this repository decodes
+// immediately, which is what lets steady-state exchange rounds run at
+// zero allocations.
 
 // AllgatherBytes gathers one byte slice from every rank; result[i] is
-// rank i's contribution. All ranks receive identical results.
+// rank i's contribution. All ranks receive identical results. The
+// result aliases pooled storage: it is valid only until the next
+// collective on this Comm.
 func (c *Comm) AllgatherBytes(data []byte) [][]byte {
 	return c.allgatherSmall(data)
 }
@@ -55,9 +64,9 @@ func (c *Comm) BcastBytes(root int, data []byte) []byte {
 // the bit-identical result — floating-point reproducibility that
 // distributed threshold decisions rely on.
 func (c *Comm) AllreduceF64(x float64, op ReduceOp) float64 {
-	var buf [8]byte
-	binary.LittleEndian.PutUint64(buf[:], math.Float64bits(x))
-	parts := c.allgatherSmall(buf[:])
+	buf := c.pubBuf(8)
+	binary.LittleEndian.PutUint64(buf, math.Float64bits(x))
+	parts := c.allgatherSmall(buf)
 	acc := math.Float64frombits(binary.LittleEndian.Uint64(parts[0]))
 	for _, p := range parts[1:] {
 		v := math.Float64frombits(binary.LittleEndian.Uint64(p))
@@ -68,9 +77,9 @@ func (c *Comm) AllreduceF64(x float64, op ReduceOp) float64 {
 
 // AllreduceI64 reduces one int64 across all ranks with op.
 func (c *Comm) AllreduceI64(x int64, op ReduceOp) int64 {
-	var buf [8]byte
-	binary.LittleEndian.PutUint64(buf[:], uint64(x))
-	parts := c.allgatherSmall(buf[:])
+	buf := c.pubBuf(8)
+	binary.LittleEndian.PutUint64(buf, uint64(x))
+	parts := c.allgatherSmall(buf)
 	acc := x
 	for i, p := range parts {
 		if i == c.rank {
@@ -85,14 +94,22 @@ func (c *Comm) AllreduceI64(x int64, op ReduceOp) int64 {
 // AllreduceSumF64s element-wise sums a float64 vector across ranks.
 // All ranks must pass vectors of the same length. Summation runs in
 // fixed rank order (0..p-1) on every rank, so the result is
-// bit-identical everywhere regardless of the calling rank.
+// bit-identical everywhere regardless of the calling rank. The result
+// aliases pooled storage: it is valid only until the next
+// AllreduceSumF64s on this Comm.
 func (c *Comm) AllreduceSumF64s(xs []float64) []float64 {
-	buf := make([]byte, 8*len(xs))
+	buf := c.pubBuf(8 * len(xs))
 	for i, x := range xs {
 		binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(x))
 	}
 	parts := c.allgatherSmall(buf)
-	out := make([]float64, len(xs))
+	if cap(c.pool.sumOut) < len(xs) {
+		c.pool.sumOut = make([]float64, len(xs))
+	}
+	out := c.pool.sumOut[:len(xs)]
+	for i := range out {
+		out[i] = 0
+	}
 	for r, p := range parts {
 		if len(p) != len(buf) {
 			panic(fmt.Sprintf("mpi: AllreduceSumF64s length mismatch: rank %d sent %d bytes, want %d", r, len(p), len(buf)))
@@ -115,9 +132,9 @@ type MinLoc struct {
 // it. The paper uses exactly this to pick, for each delegate, the
 // candidate move with the global minimum delta-L (Algorithm 2, line 4).
 func (c *Comm) AllreduceMinLoc(val float64) MinLoc {
-	var buf [8]byte
-	binary.LittleEndian.PutUint64(buf[:], math.Float64bits(val))
-	parts := c.allgatherSmall(buf[:])
+	buf := c.pubBuf(8)
+	binary.LittleEndian.PutUint64(buf, math.Float64bits(val))
+	parts := c.allgatherSmall(buf)
 	best := MinLoc{Value: val, Rank: c.rank}
 	for r, p := range parts {
 		v := math.Float64frombits(binary.LittleEndian.Uint64(p))
@@ -131,7 +148,9 @@ func (c *Comm) AllreduceMinLoc(val float64) MinLoc {
 
 // Alltoallv sends bufs[dst] from this rank to each rank dst and returns
 // recv where recv[src] is the buffer this rank received from src.
-// bufs must have length Size(); nil entries mean "send nothing".
+// bufs must have length Size(); nil entries mean "send nothing". The
+// result aliases a pooled slab: it is valid only until the next
+// collective on this Comm.
 func (c *Comm) Alltoallv(bufs [][]byte) [][]byte {
 	if len(bufs) != c.size {
 		panic(fmt.Sprintf("mpi: Alltoallv with %d buffers for %d ranks", len(bufs), c.size))
@@ -147,16 +166,28 @@ func (c *Comm) Alltoallv(bufs [][]byte) [][]byte {
 	}
 	c.w.a2a[c.rank] = bufs
 	c.sync()
-	out := make([][]byte, c.size)
+	if c.pool.a2aOut == nil {
+		c.pool.a2aOut = make([][]byte, c.size)
+	}
+	out := c.pool.a2aOut
+	total := 0
+	for src := 0; src < c.size; src++ {
+		if c.w.a2a[src] != nil {
+			total += len(c.w.a2a[src][c.rank])
+		}
+	}
+	c.pool.a2aSlab = grow(c.pool.a2aSlab, total)
+	slab := c.pool.a2aSlab
+	off := 0
 	recvd, recvMsgs := 0, int64(0)
 	for src := 0; src < c.size; src++ {
 		var b []byte
 		if c.w.a2a[src] != nil {
 			b = c.w.a2a[src][c.rank]
 		}
-		cp := make([]byte, len(b))
-		copy(cp, b)
-		out[src] = cp
+		n := copy(slab[off:off+len(b)], b)
+		out[src] = slab[off : off+n : off+n]
+		off += n
 		if src != c.rank {
 			recvd += len(b)
 			if len(b) > 0 {
@@ -170,16 +201,27 @@ func (c *Comm) Alltoallv(bufs [][]byte) [][]byte {
 }
 
 // allgatherSmall is AllgatherBytes without double-charging collective
-// cost for the helpers built on top of it.
+// cost for the helpers built on top of it. Results live in the Comm's
+// pooled allgather slab — valid until the next collective.
 func (c *Comm) allgatherSmall(data []byte) [][]byte {
 	c.collectiveCost(len(data))
 	c.w.slots[c.rank] = data
 	c.sync()
-	out := make([][]byte, c.size)
+	if c.pool.agOut == nil {
+		c.pool.agOut = make([][]byte, c.size)
+	}
+	out := c.pool.agOut
+	total := 0
+	for _, s := range c.w.slots {
+		total += len(s)
+	}
+	c.pool.agSlab = grow(c.pool.agSlab, total)
+	slab := c.pool.agSlab
+	off := 0
 	for i, s := range c.w.slots {
-		cp := make([]byte, len(s))
-		copy(cp, s)
-		out[i] = cp
+		n := copy(slab[off:off+len(s)], s)
+		out[i] = slab[off : off+n : off+n]
+		off += n
 	}
 	c.sync()
 	return out

@@ -135,6 +135,9 @@ type Comm struct {
 	// kind is the ambient attribution for collectives and for p2p tags
 	// without kind bits; see SetKind. Only the rank goroutine touches it.
 	kind Kind
+	// pool is the reusable receive-side storage for collectives; their
+	// results alias it and are valid until the next collective.
+	pool commPool
 }
 
 // Stats counts one rank's traffic. Collective* fields use the

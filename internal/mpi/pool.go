@@ -1,0 +1,99 @@
+package mpi
+
+// SendBuffers is a reusable set of per-destination encoders for
+// alltoallv-style exchanges. The old idiom allocated a fresh
+// []*Encoder (plus one Encoder per active destination) for every
+// exchange round; a SendBuffers is created once per communicator or
+// level and reused, so steady-state rounds allocate nothing:
+//
+//	sb.Reset()
+//	sb.For(dst).PutInt(v)   // lazily marks dst active this round
+//	recv := c.Alltoallv(sb.Bufs())
+//
+// Like the Comm it feeds, a SendBuffers may only be used by its rank's
+// goroutine.
+type SendBuffers struct {
+	encs []*Encoder
+	used []bool
+	bufs [][]byte
+}
+
+// NewSendBuffers returns a SendBuffers for a p-rank world.
+func NewSendBuffers(p int) *SendBuffers {
+	return &SendBuffers{
+		encs: make([]*Encoder, p),
+		used: make([]bool, p),
+		bufs: make([][]byte, p),
+	}
+}
+
+// Reset starts a new exchange round: every destination becomes
+// inactive and its encoder is reset on first For.
+func (s *SendBuffers) Reset() {
+	for i := range s.used {
+		s.used[i] = false
+	}
+}
+
+// For returns the encoder accumulating this round's payload for dst,
+// creating (first ever use) or resetting (first use this round) it as
+// needed.
+func (s *SendBuffers) For(dst int) *Encoder {
+	e := s.encs[dst]
+	if e == nil {
+		e = NewEncoder(256)
+		s.encs[dst] = e
+	}
+	if !s.used[dst] {
+		s.used[dst] = true
+		e.Reset()
+	}
+	return e
+}
+
+// Bufs returns the per-destination payloads of the current round,
+// shaped for Comm.Alltoallv: nil for destinations without one. The
+// returned slice and its payloads alias the pool and stay valid until
+// the next Reset.
+func (s *SendBuffers) Bufs() [][]byte {
+	for i, e := range s.encs {
+		if s.used[i] {
+			s.bufs[i] = e.Bytes()
+		} else {
+			s.bufs[i] = nil
+		}
+	}
+	return s.bufs
+}
+
+// commPool holds a Comm's reusable receive-side storage. Collectives
+// copy incoming payloads into slabs here instead of fresh allocations,
+// which is why their results are only valid until the next collective
+// on the same Comm. Only the rank goroutine touches the pool (same
+// contract as the communication methods), so no locking is needed.
+type commPool struct {
+	pub     []byte    // outgoing publish buffer (scalar/vector reduces)
+	a2aOut  [][]byte  // Alltoallv result headers
+	a2aSlab []byte    // Alltoallv payload slab backing a2aOut
+	agOut   [][]byte  // allgather result headers
+	agSlab  []byte    // allgather payload slab backing agOut
+	sumOut  []float64 // AllreduceSumF64s result
+}
+
+// pubBuf returns the pooled n-byte publish buffer, growing it if
+// needed. The previous contents are not preserved.
+func (c *Comm) pubBuf(n int) []byte {
+	if cap(c.pool.pub) < n {
+		c.pool.pub = make([]byte, n)
+	}
+	return c.pool.pub[:n]
+}
+
+// grow returns b resized to length n, reusing its capacity when
+// possible. The previous contents are not preserved.
+func grow(b []byte, n int) []byte {
+	if cap(b) < n {
+		return make([]byte, n)
+	}
+	return b[:n]
+}

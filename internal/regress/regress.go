@@ -17,6 +17,15 @@
 //   - leaves whose final key mentions "bytes" (including the per-kind
 //     comm splits) fail on relative increase beyond the bytes
 //     threshold (default 10%);
+//   - leaves whose final key mentions "ns_per_op" are benchmark times
+//     (the dinfomap-bench/v1 reports) and fail on relative increase
+//     beyond the generous time threshold (default 25%);
+//   - leaves whose final key mentions "allocs_per_op" are benchmark
+//     allocation counts and fail on ANY relative increase beyond the
+//     allocs threshold (default 0: pooling regressions fail loudly);
+//   - leaves whose final key mentions "nmi" are partition quality and
+//     fail on ANY relative decrease beyond a tiny tolerance (NMI sums
+//     in a fixed order, so same-seed runs reproduce it exactly);
 //   - everything else that differs is recorded as an informational
 //     finding, never a failure.
 //
@@ -41,14 +50,20 @@ const (
 	DefaultCodelengthTol = 1e-9
 	DefaultModeledTol    = 0.10
 	DefaultBytesTol      = 0.10
+	DefaultTimeTol       = 0.25
+	DefaultQualityTol    = 1e-9
 )
 
 // Options are the per-class regression thresholds, all relative
-// ((new-old)/|old|). Zero values mean the defaults.
+// ((new-old)/|old|). Zero values mean the defaults. AllocsTol defaults
+// to 0: any allocs/op increase is a regression.
 type Options struct {
 	CodelengthTol float64 `json:"codelength_tol"`
 	ModeledTol    float64 `json:"modeled_tol"`
 	BytesTol      float64 `json:"bytes_tol"`
+	TimeTol       float64 `json:"time_tol"`
+	AllocsTol     float64 `json:"allocs_tol"`
+	QualityTol    float64 `json:"quality_tol"`
 }
 
 func (o Options) withDefaults() Options {
@@ -61,6 +76,12 @@ func (o Options) withDefaults() Options {
 	if o.BytesTol <= 0 {
 		o.BytesTol = DefaultBytesTol
 	}
+	if o.TimeTol <= 0 {
+		o.TimeTol = DefaultTimeTol
+	}
+	if o.QualityTol <= 0 {
+		o.QualityTol = DefaultQualityTol
+	}
 	return o
 }
 
@@ -69,6 +90,9 @@ const (
 	ClassCodelength = "codelength"
 	ClassModeled    = "modeled"
 	ClassBytes      = "bytes"
+	ClassTime       = "time"
+	ClassAllocs     = "allocs"
+	ClassQuality    = "quality"
 	ClassOther      = "other"
 	ClassStructure  = "structure"
 )
@@ -313,6 +337,13 @@ func (w *walker) number(path string, old, new float64) {
 		f.Regression = increaseBeyond(old, new, w.opt.ModeledTol)
 	case ClassBytes:
 		f.Regression = increaseBeyond(old, new, w.opt.BytesTol)
+	case ClassTime:
+		f.Regression = increaseBeyond(old, new, w.opt.TimeTol)
+	case ClassAllocs:
+		f.Regression = increaseBeyond(old, new, w.opt.AllocsTol)
+	case ClassQuality:
+		// Quality regresses downward: gate decreases, welcome increases.
+		f.Regression = increaseBeyond(new, old, w.opt.QualityTol)
 	}
 	w.emit(f)
 }
@@ -363,6 +394,12 @@ func classify(path string) string {
 		return ClassModeled
 	case strings.Contains(last, "bytes"):
 		return ClassBytes
+	case strings.Contains(last, "ns_per_op"):
+		return ClassTime
+	case strings.Contains(last, "allocs_per_op"):
+		return ClassAllocs
+	case strings.Contains(last, "nmi"):
+		return ClassQuality
 	default:
 		return ClassOther
 	}

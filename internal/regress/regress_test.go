@@ -201,8 +201,10 @@ func TestClassify(t *testing.T) {
 		{"$.ranks[1].phase_modeled_ns.FindBestModule", ClassModeled},
 		{"$.comms.by_kind.ghost_update.bytes_sent", ClassBytes},
 		{"$.rows[0].Bytes", ClassBytes},
-		{"$.rows[0].SeqNMI", ClassOther},
+		{"$.rows[0].SeqNMI", ClassQuality},
 		{"$.rows[0].Iterations", ClassOther},
+		{"$.benchmarks.SweepPass.ns_per_op", ClassTime},
+		{"$.benchmarks.SweepPass.allocs_per_op", ClassAllocs},
 		// Golden-file aliases: fig4/5 finals, table3, fig9, fig8 phases.
 		{"$.rows[0].SeqFinal", ClassCodelength},
 		{"$.rows[1].DistFinal", ClassCodelength},
