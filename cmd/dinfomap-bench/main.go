@@ -28,6 +28,7 @@ import (
 	"testing"
 
 	"dinfomap/internal/benchsuite"
+	"dinfomap/internal/obs"
 	"dinfomap/internal/regress"
 )
 
@@ -65,8 +66,13 @@ func main() {
 			"relative allocs/op increase tolerated before failing")
 		reportPath = flag.String("report", "", "write the JSON diff report to this file")
 		verbose    = flag.Bool("v", false, "print informational findings, not just regressions")
+		version    = flag.Bool("version", false, "print build provenance and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(obs.ReadBuild().String())
+		return
+	}
 	if *count < 1 {
 		fmt.Fprintln(os.Stderr, "dinfomap-bench: -count must be >= 1")
 		os.Exit(2)

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"os"
 
+	"dinfomap/internal/obs"
 	"dinfomap/internal/regress"
 )
 
@@ -32,6 +33,7 @@ func main() {
 			"relative traffic-bytes increase tolerated before failing")
 		reportPath = flag.String("report", "", "write the JSON diff report to this file")
 		verbose    = flag.Bool("v", false, "print informational findings, not just regressions")
+		version    = flag.Bool("version", false, "print build provenance and exit")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
@@ -39,6 +41,10 @@ func main() {
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	if *version {
+		fmt.Println(obs.ReadBuild().String())
+		return
+	}
 	if flag.NArg() != 2 {
 		flag.Usage()
 		os.Exit(2)

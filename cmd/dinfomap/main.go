@@ -58,12 +58,19 @@ func main() {
 		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile  = flag.String("memprofile", "", "write a heap profile to this file")
 		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof and the live /debug/dinfomap/ endpoints on this address (e.g. localhost:6060)")
+		version     = flag.Bool("version", false, "print build provenance and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(dinfomap.ReadBuildProvenance().String())
+		return
+	}
 
-	// The journal feeds -trace and the live -pprof debug endpoints.
+	// The journal feeds -trace, the live -pprof debug endpoints, and the
+	// wait-state sections of the -metrics report (the critical path needs
+	// span timings, so a report without a journal would ship without it).
 	var journal *dinfomap.RunJournal
-	if *tracePath != "" || *pprofAddr != "" {
+	if *tracePath != "" || *pprofAddr != "" || *metricsPath != "" {
 		journal = dinfomap.NewRunJournal(*p)
 	}
 	if *pprofAddr != "" {
@@ -132,7 +139,7 @@ func main() {
 	}
 	if *tracePath != "" {
 		if err := writeFile(*tracePath, func(w io.Writer) error {
-			return dinfomap.WriteChromeTrace(w, cfg.Journal)
+			return dinfomap.WriteChromeTraceWith(w, cfg.Journal, res.WaitRecorder)
 		}); err != nil {
 			fatal(err)
 		}

@@ -9,7 +9,7 @@
 //	experiments -exp all -scale 0.3 -json results
 //
 // Experiments: table1 fig4 fig5 table2 fig6 fig7 fig8 fig9 fig10
-// table3 ablations comms all. Output is the same rows/series the paper
+// table3 ablations comms waitstates all. Output is the same rows/series the paper
 // reports, as fixed-width text tables; with -json DIR each experiment
 // additionally writes a machine-readable sibling DIR/<id>.json so
 // trajectory tooling can consume the numbers without parsing the text.
@@ -47,7 +47,7 @@ const envelopeSchema = "dinfomap-experiment/v1"
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment id (table1 fig4 fig5 table2 fig6 fig7 fig8 fig9 fig10 table3 ablations comms all)")
+		exp      = flag.String("exp", "all", "experiment id (table1 fig4 fig5 table2 fig6 fig7 fig8 fig9 fig10 table3 ablations comms waitstates all)")
 		scale    = flag.Float64("scale", 1.0, "dataset scale factor")
 		seed     = flag.Uint64("seed", 1, "random seed offset")
 		datasets = flag.String("datasets", "", "comma-separated dataset override")
@@ -176,6 +176,13 @@ func main() {
 			}
 			experiments.FormatComms(w, rows)
 			return rows, nil
+		case "waitstates":
+			rows, err := experiments.RunWaitStates(o, ds, ps)
+			if err != nil {
+				return nil, err
+			}
+			experiments.FormatWaitStates(w, rows)
+			return rows, nil
 		default:
 			return nil, fmt.Errorf("unknown experiment %q", id)
 		}
@@ -184,7 +191,7 @@ func main() {
 	ids := []string{*exp}
 	if *exp == "all" {
 		ids = []string{"table1", "fig4", "fig5", "table2", "fig6", "fig7",
-			"fig8", "fig9", "fig10", "table3", "ablations", "comms"}
+			"fig8", "fig9", "fig10", "table3", "ablations", "comms", "waitstates"}
 	}
 	for _, id := range ids {
 		rows, err := run(id)

@@ -28,6 +28,7 @@ import (
 	"dinfomap/internal/infomap"
 	"dinfomap/internal/louvain"
 	"dinfomap/internal/metrics"
+	"dinfomap/internal/mpi"
 	"dinfomap/internal/obs"
 	"dinfomap/internal/partition"
 	"dinfomap/internal/relax"
@@ -176,6 +177,28 @@ func NewRunJournal(p int) *RunJournal { return obs.NewJournal(p) }
 func WriteChromeTrace(w io.Writer, j *RunJournal) error {
 	return obs.WriteChromeTrace(w, j)
 }
+
+// WaitRecorder holds the raw wait-state events of a journaled
+// distributed run (matched p2p receives and barrier arrival/release
+// times); RunDistributed fills DistributedResult.WaitRecorder whenever
+// DistributedConfig.Journal is set.
+type WaitRecorder = mpi.Recorder
+
+// WriteChromeTraceWith exports a run journal together with the run's
+// wait-state events: Perfetto flow arrows for every matched send->recv
+// pair and a "blocked ranks" counter track showing how many ranks sit
+// in a blocked receive or barrier wait at each instant. rec may be nil,
+// which reduces to WriteChromeTrace.
+func WriteChromeTraceWith(w io.Writer, j *RunJournal, rec *WaitRecorder) error {
+	return obs.WriteChromeTraceWith(w, j, rec)
+}
+
+// BuildProvenance is the running binary's build identity (module
+// version, VCS revision); run reports embed it and -version prints it.
+type BuildProvenance = obs.BuildInfo
+
+// ReadBuildProvenance reads the binary's build info via runtime/debug.
+func ReadBuildProvenance() BuildProvenance { return obs.ReadBuild() }
 
 // RegisterRunDebugHandlers mounts the live observability endpoints for
 // j on mux: an SSE stream of journal events as they are emitted

@@ -129,6 +129,11 @@ type Result struct {
 
 	// CommStats is each rank's cumulative traffic.
 	CommStats []mpi.Stats
+	// WaitRecorder holds the run's raw wait-state events (p2p matches
+	// and barrier arrival/release times) for critical-path analysis.
+	// Non-nil only when the run journaled (Config.Journal set):
+	// recording is kept out of benchmarked paths.
+	WaitRecorder *mpi.Recorder
 	// MaxRankBytes is the largest per-rank total byte count.
 	MaxRankBytes int64
 	// DeltaEvaluations is the global number of delta-L evaluations.
@@ -189,7 +194,15 @@ func Run(g *graph.Graph, cfg Config) *Result {
 		perRankEvals:       make([]int64, cfg.P),
 		perRankIters:       make([][]obs.IterationReport, cfg.P),
 	}
-	stats := mpi.Run(cfg.P, runner.rankMain)
+	// Journaled runs also record raw wait-state events (anchored to the
+	// journal epoch so they compare with span times) for the wait-state
+	// and critical-path report sections.
+	var runOpts []mpi.RunOpt
+	if cfg.Journal != nil {
+		res.WaitRecorder = mpi.NewRecorder(cfg.P, cfg.Journal.Epoch())
+		runOpts = append(runOpts, mpi.WithRecorder(res.WaitRecorder))
+	}
+	stats := mpi.Run(cfg.P, runner.rankMain, runOpts...)
 	// End the live stream: subscribers drain their rings and receive
 	// the final status snapshot.
 	cfg.Journal.Finish()

@@ -11,16 +11,41 @@ import (
 // stripWallTimes zeroes the host wall-clock fields, the only report
 // content that legitimately differs between two identical runs (modeled
 // times derive from deterministic op/msg/byte counters and must match).
+// The wait-state measurements (and the blocked-receive classification,
+// which depends on measured timing) are wall-clock too; the barrier
+// sync *count* is deterministic and deliberately kept.
 func stripWallTimes(rep *obs.Report) {
 	rep.Timing.Stage1WallNs = 0
 	rep.Timing.Stage2WallNs = 0
+	stripWaitMap := func(m map[string]obs.CommTotals) {
+		for k, c := range m {
+			stripWait(&c)
+			m[k] = c
+		}
+	}
 	for i := range rep.Ranks {
 		rep.Ranks[i].Wall1Ns = 0
 		rep.Ranks[i].Wall2Ns = 0
+		stripWait(&rep.Ranks[i].Comm)
+		stripWaitMap(rep.Ranks[i].CommByKind)
 		for k := range rep.Ranks[i].Iterations {
 			rep.Ranks[i].Iterations[k].WallNs = 0
+			stripWait(&rep.Ranks[i].Iterations[k].Comm)
+			stripWaitMap(rep.Ranks[i].Iterations[k].CommByKind)
 		}
 	}
+	if rep.Comms != nil {
+		stripWait(&rep.Comms.Totals)
+		stripWaitMap(rep.Comms.ByKind)
+	}
+}
+
+// stripWait zeroes the measured wait-state fields of one comm record.
+func stripWait(c *obs.CommTotals) {
+	c.RecvBlockedWallNs = 0
+	c.RecvQueueWallNs = 0
+	c.RecvsBlockedWall = 0
+	c.BarrierWaitWallNs = 0
 }
 
 // TestRunReportDeterministic runs the distributed algorithm twice with

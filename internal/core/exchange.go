@@ -399,13 +399,15 @@ func (lv *level) refresh(costs phaseCosts, iter int32) (numModules int64) {
 	}
 
 	// Round-1 span closes here: partials shuffled and summed at owners.
-	msgs, bytes := commDelta(before, lv.c.Stats())
+	after := lv.c.Stats()
+	msgs, bytes := commDelta(before, after)
 	lv.timer.Stop(trace.PhaseRefreshRound1)
 	costs.add(trace.PhaseRefreshRound1, trace.RankCost{Ops: r1Ops, Msgs: msgs, Bytes: bytes})
 	lv.jlog.Emit(obs.Event{
 		Stage: lv.jstage, Outer: lv.jouter, Iter: iter,
 		Phase: obs.PhaseRefreshRound1, Start: j1, End: lv.jlog.Now(),
 		Ops: r1Ops, Msgs: msgs, Bytes: bytes,
+		WaitNs: waitDelta(before, after),
 	})
 	j2 := lv.jlog.Now()
 	before = lv.c.Stats()
@@ -518,13 +520,15 @@ func (lv *level) refresh(costs phaseCosts, iter int32) (numModules int64) {
 
 	// Round-2 span: authoritative replies delivered, table rebuilt,
 	// aggregates reduced.
-	msgs, bytes = commDelta(before, lv.c.Stats())
+	after = lv.c.Stats()
+	msgs, bytes = commDelta(before, after)
 	lv.timer.Stop(trace.PhaseRefreshRound2)
 	costs.add(trace.PhaseRefreshRound2, trace.RankCost{Ops: r2Ops, Msgs: msgs, Bytes: bytes})
 	lv.jlog.Emit(obs.Event{
 		Stage: lv.jstage, Outer: lv.jouter, Iter: iter,
 		Phase: obs.PhaseRefreshRound2, Start: j2, End: lv.jlog.Now(),
 		Ops: r2Ops, Msgs: msgs, Bytes: bytes,
+		WaitNs: waitDelta(before, after),
 	})
 	return numModules
 }

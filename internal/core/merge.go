@@ -131,13 +131,15 @@ func (lv *level) mergeShuffle(costs phaseCosts) []mergedArc {
 		}
 	}
 
-	msgs, bytes := commDelta(before, lv.c.Stats())
+	after := lv.c.Stats()
+	msgs, bytes := commDelta(before, after)
 	lv.timer.Stop(trace.PhaseMergeShuffle)
 	costs.add(trace.PhaseMergeShuffle, trace.RankCost{Ops: ops, Msgs: msgs, Bytes: bytes})
 	lv.jlog.Emit(obs.Event{
 		Stage: lv.jstage, Outer: lv.jouter, Iter: -1,
 		Phase: obs.PhaseMergeShuffle, Start: j0, End: lv.jlog.Now(),
 		Ops: ops, Msgs: msgs, Bytes: bytes,
+		WaitNs: waitDelta(before, after),
 	})
 	return arcs
 }

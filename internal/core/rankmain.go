@@ -29,6 +29,12 @@ func commDelta(before, after mpi.Stats) (msgs, bytes int64) {
 	return d.MsgsSent + d.CollectiveMsgs, d.BytesSent + d.CollectiveBytes
 }
 
+// waitDelta returns the blocked time (late senders plus barrier skew)
+// between two stats snapshots, for span wait attribution.
+func waitDelta(before, after mpi.Stats) int64 {
+	return after.BlockedNs() - before.BlockedNs()
+}
+
 // clusterOutcome reports one level's converged clustering.
 type clusterOutcome struct {
 	iterations int
@@ -75,7 +81,8 @@ func (lv *level) cluster(costs phaseCosts) clusterOutcome {
 		jt = lv.jlog.Now()
 		before := lv.c.Stats()
 		hubMoves := lv.broadcastDelegates(cands)
-		msgs, bytes := commDelta(before, lv.c.Stats())
+		after := lv.c.Stats()
+		msgs, bytes := commDelta(before, after)
 		lv.timer.Stop(trace.PhaseBcastDelegates)
 		costs.add(trace.PhaseBcastDelegates, trace.RankCost{
 			Ops: int64(len(cands)), Msgs: msgs, Bytes: bytes,
@@ -85,6 +92,7 @@ func (lv *level) cluster(costs phaseCosts) clusterOutcome {
 			Phase: obs.PhaseBcastDelegates, Start: jt, End: lv.jlog.Now(),
 			Moves: int32(hubMoves),
 			Ops:   int64(len(cands)), Msgs: msgs, Bytes: bytes,
+			WaitNs: waitDelta(before, after),
 		})
 
 		// --- SwapBoundaryInfo ---
@@ -92,7 +100,8 @@ func (lv *level) cluster(costs phaseCosts) clusterOutcome {
 		jt = lv.jlog.Now()
 		before = lv.c.Stats()
 		swaps := lv.swapGhostComms()
-		msgs, bytes = commDelta(before, lv.c.Stats())
+		after = lv.c.Stats()
+		msgs, bytes = commDelta(before, after)
 		lv.timer.Stop(trace.PhaseSwapBoundary)
 		costs.add(trace.PhaseSwapBoundary, trace.RankCost{
 			Ops: int64(len(lv.ghosts)), Msgs: msgs, Bytes: bytes,
@@ -101,6 +110,7 @@ func (lv *level) cluster(costs phaseCosts) clusterOutcome {
 			Stage: lv.jstage, Outer: lv.jouter, Iter: int32(iter),
 			Phase: obs.PhaseSwapBoundary, Start: jt, End: lv.jlog.Now(),
 			Ops: int64(swaps), Msgs: msgs, Bytes: bytes,
+			WaitNs: waitDelta(before, after),
 		})
 
 		// --- Module refresh (rounds 1-2 journal their own spans) ---
@@ -113,13 +123,15 @@ func (lv *level) cluster(costs phaseCosts) clusterOutcome {
 		prevKind := lv.c.SetKind(mpi.KindCollective)
 		total := lv.c.AllreduceI64(int64(moves+hubMoves+deferred), mpi.OpSum)
 		lv.c.SetKind(prevKind)
-		msgs, bytes = commDelta(before, lv.c.Stats())
+		after = lv.c.Stats()
+		msgs, bytes = commDelta(before, after)
 		lv.timer.Stop(trace.PhaseOther)
 		costs.add(trace.PhaseOther, trace.RankCost{Msgs: msgs, Bytes: bytes})
 		lv.jlog.Emit(obs.Event{
 			Stage: lv.jstage, Outer: lv.jouter, Iter: int32(iter),
 			Phase: obs.PhaseOther, Start: jt, End: lv.jlog.Now(),
 			Msgs: msgs, Bytes: bytes,
+			WaitNs: waitDelta(before, after),
 		})
 		// Refresh the live comm snapshot once per synchronized sweep.
 		lv.jlog.PublishComm(lv.c.Stats())
@@ -211,7 +223,8 @@ func (rs *runState) rankBody(c *mpi.Comm) {
 			Stage: uint8(stage), Outer: uint16(outer), Iter: -1,
 			Phase: obs.PhaseOuterIter, Start: now, End: now,
 			Ops: ops, Msgs: d.MsgsSent + d.CollectiveMsgs,
-			Bytes: d.BytesSent + d.CollectiveBytes,
+			Bytes:  d.BytesSent + d.CollectiveBytes,
+			WaitNs: d.BlockedNs(),
 		})
 		jlog.PublishComm(cum)
 	}

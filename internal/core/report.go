@@ -115,6 +115,13 @@ func BuildReport(g *graph.Graph, cfg Config, res *Result) *obs.Report {
 		rep.Ranks = append(rep.Ranks, rr)
 	}
 	rep.Comms = obs.BuildComms(res.CommStats)
+	if journaled {
+		rep.WaitStates = obs.BuildWaitStates(res.CommStats, cfg.Journal)
+		rep.LostTime = obs.BuildLostTime(res.CommStats, cfg.Journal)
+		rep.CriticalPath = obs.CriticalPath(cfg.Journal, res.WaitRecorder)
+	}
+	build := obs.ReadBuild()
+	rep.Build = &build
 	return rep
 }
 

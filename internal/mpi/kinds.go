@@ -120,6 +120,15 @@ type KindStats struct {
 	Collectives          int64
 	CollectiveBytes      int64
 	CollectiveMsgs       int64
+
+	// Wait-state counters, mirroring Stats: receive waits follow the
+	// message's resolved kind, barrier/collective skew follows the
+	// ambient kind at the synchronization point.
+	RecvBlockedNs int64
+	RecvQueueNs   int64
+	RecvsBlocked  int64
+	BarrierWaitNs int64
+	BarrierSyncs  int64
 }
 
 // add accumulates other into s.
@@ -131,6 +140,11 @@ func (s *KindStats) add(other KindStats) {
 	s.Collectives += other.Collectives
 	s.CollectiveBytes += other.CollectiveBytes
 	s.CollectiveMsgs += other.CollectiveMsgs
+	s.RecvBlockedNs += other.RecvBlockedNs
+	s.RecvQueueNs += other.RecvQueueNs
+	s.RecvsBlocked += other.RecvsBlocked
+	s.BarrierWaitNs += other.BarrierWaitNs
+	s.BarrierSyncs += other.BarrierSyncs
 }
 
 // sub returns the field-wise delta s - prev.
@@ -143,6 +157,11 @@ func (s KindStats) sub(prev KindStats) KindStats {
 		Collectives:     s.Collectives - prev.Collectives,
 		CollectiveBytes: s.CollectiveBytes - prev.CollectiveBytes,
 		CollectiveMsgs:  s.CollectiveMsgs - prev.CollectiveMsgs,
+		RecvBlockedNs:   s.RecvBlockedNs - prev.RecvBlockedNs,
+		RecvQueueNs:     s.RecvQueueNs - prev.RecvQueueNs,
+		RecvsBlocked:    s.RecvsBlocked - prev.RecvsBlocked,
+		BarrierWaitNs:   s.BarrierWaitNs - prev.BarrierWaitNs,
+		BarrierSyncs:    s.BarrierSyncs - prev.BarrierSyncs,
 	}
 }
 
@@ -175,5 +194,10 @@ func (s Stats) Conserved() bool {
 		Collectives:     s.Collectives,
 		CollectiveBytes: s.CollectiveBytes,
 		CollectiveMsgs:  s.CollectiveMsgs,
+		RecvBlockedNs:   s.RecvBlockedNs,
+		RecvQueueNs:     s.RecvQueueNs,
+		RecvsBlocked:    s.RecvsBlocked,
+		BarrierWaitNs:   s.BarrierWaitNs,
+		BarrierSyncs:    s.BarrierSyncs,
 	}
 }

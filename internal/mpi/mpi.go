@@ -31,10 +31,14 @@ import (
 // would race with concurrently running worlds.
 var DeadlockTimeout = 120 * time.Second
 
-// message is one point-to-point payload in flight.
+// message is one point-to-point payload in flight. sentAt is the
+// sender's monotonic stamp (world epoch relative), taken just before the
+// message entered the inbox; Recv compares it against the receiver's own
+// ask time to attribute any wait to a late sender or a late receiver.
 type message struct {
 	src, tag int
 	data     []byte
+	sentAt   time.Duration
 }
 
 // inbox is an unbounded mailbox with (src, tag) matching.
@@ -86,6 +90,8 @@ const AnySource = -1
 type World struct {
 	size    int
 	timeout time.Duration // deadlock watchdog; immutable after Run starts
+	epoch   time.Time     // zero point of all message/barrier timestamps
+	rec     *Recorder     // optional wait-state event recorder (may be nil)
 	inboxes []*inbox
 	barrier *barrier
 	slots   [][]byte   // collective exchange slots, one per rank
@@ -95,6 +101,11 @@ type World struct {
 	failure error
 	failMu  sync.Mutex
 }
+
+// now returns the world's monotonic clock: time since the epoch. All
+// message stamps and barrier arrival/release times share it, so they
+// are directly comparable across ranks (one process, one clock).
+func (w *World) now() time.Duration { return time.Since(w.epoch) }
 
 // RunOpt configures one Run before its ranks start.
 type RunOpt func(*World)
@@ -153,6 +164,28 @@ type Stats struct {
 	CollectiveBytes      int64 // modeled: payload * ceil(log2 p) per call
 	CollectiveMsgs       int64 // modeled: ceil(log2 p) per call
 
+	// Wait-state counters (host wall-clock nanoseconds): where this rank
+	// lost time blocked on communication, and where its peers lost time
+	// waiting for it. Unlike the traffic counters these are measured, not
+	// modeled, and are nondeterministic run to run.
+
+	// RecvBlockedNs is time spent blocked in Recv because the matching
+	// message had not been sent yet (late sender).
+	RecvBlockedNs int64
+	// RecvQueueNs is inbox residency of received messages: how long each
+	// matched message sat queued before this rank asked for it (late
+	// receiver — the peer's send was early, this rank was busy).
+	RecvQueueNs int64
+	// RecvsBlocked counts the receives that blocked on a late sender.
+	RecvsBlocked int64
+	// BarrierWaitNs is arrival-to-release skew summed over barrier and
+	// collective synchronization points: time between this rank arriving
+	// and the last rank releasing everyone.
+	BarrierWaitNs int64
+	// BarrierSyncs counts synchronization points entered (Barrier is one;
+	// each blocking collective contributes its internal syncs).
+	BarrierSyncs int64
+
 	// ByKind is the per-kind breakdown, indexed by Kind.
 	ByKind [NumKinds]KindStats
 }
@@ -166,6 +199,11 @@ func (s *Stats) Add(other Stats) {
 	s.Collectives += other.Collectives
 	s.CollectiveBytes += other.CollectiveBytes
 	s.CollectiveMsgs += other.CollectiveMsgs
+	s.RecvBlockedNs += other.RecvBlockedNs
+	s.RecvQueueNs += other.RecvQueueNs
+	s.RecvsBlocked += other.RecvsBlocked
+	s.BarrierWaitNs += other.BarrierWaitNs
+	s.BarrierSyncs += other.BarrierSyncs
 	for k := range s.ByKind {
 		s.ByKind[k].add(other.ByKind[k])
 	}
@@ -184,6 +222,11 @@ func (s Stats) Sub(prev Stats) Stats {
 		Collectives:     s.Collectives - prev.Collectives,
 		CollectiveBytes: s.CollectiveBytes - prev.CollectiveBytes,
 		CollectiveMsgs:  s.CollectiveMsgs - prev.CollectiveMsgs,
+		RecvBlockedNs:   s.RecvBlockedNs - prev.RecvBlockedNs,
+		RecvQueueNs:     s.RecvQueueNs - prev.RecvQueueNs,
+		RecvsBlocked:    s.RecvsBlocked - prev.RecvsBlocked,
+		BarrierWaitNs:   s.BarrierWaitNs - prev.BarrierWaitNs,
+		BarrierSyncs:    s.BarrierSyncs - prev.BarrierSyncs,
 	}
 	for k := range s.ByKind {
 		out.ByKind[k] = s.ByKind[k].sub(prev.ByKind[k])
@@ -196,6 +239,12 @@ func (s Stats) Sub(prev Stats) Stats {
 func (s Stats) TotalBytes() int64 {
 	return s.BytesSent + s.BytesRecv + s.CollectiveBytes
 }
+
+// BlockedNs returns the nanoseconds this rank itself spent blocked on
+// communication: late senders plus barrier/collective skew. Queue
+// residency is excluded — it measures the peer's lateness relative to
+// this rank, not time this rank lost.
+func (s Stats) BlockedNs() int64 { return s.RecvBlockedNs + s.BarrierWaitNs }
 
 // Rank returns this rank's id in [0, Size()).
 func (c *Comm) Rank() int { return c.rank }
@@ -257,13 +306,35 @@ func (c *Comm) countSend(k Kind, bytes int64) {
 	c.statsMu.Unlock()
 }
 
-// countRecv attributes one incoming p2p message to kind k.
-func (c *Comm) countRecv(k Kind, bytes int64) {
+// countRecv attributes one incoming p2p message to kind k, together
+// with its wait-state classification (see ClassifyRecvWait).
+func (c *Comm) countRecv(k Kind, bytes, blockedNs, queueNs int64, blocked bool) {
 	c.statsMu.Lock()
 	c.stats.MsgsRecv++
 	c.stats.BytesRecv += bytes
-	c.stats.ByKind[k].MsgsRecv++
-	c.stats.ByKind[k].BytesRecv += bytes
+	c.stats.RecvBlockedNs += blockedNs
+	c.stats.RecvQueueNs += queueNs
+	b := &c.stats.ByKind[k]
+	b.MsgsRecv++
+	b.BytesRecv += bytes
+	b.RecvBlockedNs += blockedNs
+	b.RecvQueueNs += queueNs
+	if blocked {
+		c.stats.RecvsBlocked++
+		b.RecvsBlocked++
+	}
+	c.statsMu.Unlock()
+}
+
+// countBarrier attributes one synchronization point's wait to the
+// ambient kind.
+func (c *Comm) countBarrier(waitNs int64) {
+	c.statsMu.Lock()
+	c.stats.BarrierWaitNs += waitNs
+	c.stats.BarrierSyncs++
+	b := &c.stats.ByKind[c.kind]
+	b.BarrierWaitNs += waitNs
+	b.BarrierSyncs++
 	c.statsMu.Unlock()
 }
 
@@ -294,6 +365,7 @@ func Run(size int, fn func(c *Comm), opts ...RunOpt) []Stats {
 	w := &World{
 		size:    size,
 		timeout: DeadlockTimeout,
+		epoch:   time.Now(),
 		inboxes: make([]*inbox, size),
 		barrier: newBarrier(size),
 		slots:   make([][]byte, size),
@@ -302,6 +374,9 @@ func Run(size int, fn func(c *Comm), opts ...RunOpt) []Stats {
 	}
 	for _, opt := range opts {
 		opt(w)
+	}
+	if w.rec != nil && w.rec.NumRanks() != size {
+		panic(fmt.Sprintf("mpi: recorder sized for %d ranks, world has %d", w.rec.NumRanks(), size))
 	}
 	for i := range w.inboxes {
 		w.inboxes[i] = newInbox()
@@ -342,19 +417,42 @@ func (c *Comm) Send(dst, tag int, data []byte) {
 	cp := make([]byte, len(data))
 	copy(cp, data)
 	c.countSend(c.kindForTag(tag), int64(len(data)))
-	c.w.inboxes[dst].put(message{src: c.rank, tag: tag, data: cp})
+	c.w.inboxes[dst].put(message{src: c.rank, tag: tag, data: cp, sentAt: c.w.now()})
 }
 
 // Recv blocks until a message with matching (src, tag) arrives and
 // returns its payload and actual source. src may be AnySource.
+//
+// The elapsed time is split into wait-state components by comparing the
+// message's send stamp against this rank's ask time (ClassifyRecvWait):
+// a message sent after the ask charges blocked wait (late sender), one
+// queued before the ask charges queue residency (late receiver). The
+// deadlock timer is created lazily so the already-arrived fast path
+// stays allocation-free.
 func (c *Comm) Recv(src, tag int) (data []byte, from int) {
 	ib := c.w.inboxes[c.rank]
-	deadline := time.NewTimer(c.w.timeout)
-	defer deadline.Stop()
+	start := c.w.now()
+	var deadline *time.Timer
 	for {
 		if m, ok := ib.take(src, tag); ok {
-			c.countRecv(c.kindForTag(tag), int64(len(m.data)))
+			if deadline != nil {
+				deadline.Stop()
+			}
+			end := c.w.now()
+			k := c.kindForTag(tag)
+			blockedNs, queueNs, blocked := ClassifyRecvWait(start, end, m.sentAt)
+			c.countRecv(k, int64(len(m.data)), blockedNs, queueNs, blocked)
+			if rec := c.w.rec; rec != nil {
+				rec.AddP2P(c.rank, P2PEvent{
+					Src: m.src, Tag: tag, Kind: k,
+					Bytes:  int64(len(m.data)),
+					SentAt: m.sentAt, RecvStart: start, RecvEnd: end,
+				})
+			}
 			return m.data, m.src
+		}
+		if deadline == nil {
+			deadline = time.NewTimer(c.w.timeout)
 		}
 		select {
 		case <-ib.arrived:
@@ -393,8 +491,17 @@ func (c *Comm) Barrier() {
 
 // sync waits on the world barrier without charging collective cost; the
 // collectives use it internally so one logical collective is billed once.
+// The arrival-to-release skew is charged to BarrierWaitNs under the
+// ambient kind: the last rank to arrive releases everyone, so a rank's
+// skew here is exactly the time it lost waiting for its slowest peer.
 func (c *Comm) sync() {
+	arrive := c.w.now()
 	c.w.barrier.wait(c.w.poison, c.w.timeout)
+	release := c.w.now()
+	c.countBarrier(int64(release - arrive))
+	if rec := c.w.rec; rec != nil {
+		rec.AddBarrier(c.rank, BarrierEvent{Arrive: arrive, Release: release})
+	}
 }
 
 // barrier is a reusable generation barrier.

@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+// BuildInfo is the binary's provenance: module path/version and the VCS
+// state stamped by the Go toolchain, read via runtime/debug. Run reports
+// embed it so a result can always be traced back to the code that
+// produced it; the metrics exposition mirrors it as a
+// dinfomap_build_info gauge.
+type BuildInfo struct {
+	Module   string `json:"module,omitempty"`
+	Version  string `json:"version,omitempty"`
+	Go       string `json:"go,omitempty"`
+	Revision string `json:"vcs_revision,omitempty"`
+	VCSTime  string `json:"vcs_time,omitempty"`
+	Modified bool   `json:"vcs_modified,omitempty"`
+}
+
+// ReadBuild reads the running binary's build info. Binaries built
+// outside a module or without VCS stamping (e.g. `go test` binaries)
+// yield partially-empty info, never an error.
+func ReadBuild() BuildInfo {
+	var b BuildInfo
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return b
+	}
+	b.Module = info.Main.Path
+	b.Version = info.Main.Version
+	b.Go = info.GoVersion
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			b.Revision = s.Value
+		case "vcs.time":
+			b.VCSTime = s.Value
+		case "vcs.modified":
+			b.Modified = s.Value == "true"
+		}
+	}
+	return b
+}
+
+// String renders the provenance as a one-line version string for
+// -version flags: "dinfomap (devel) go1.22 rev 1a2b3c4d (modified)".
+func (b BuildInfo) String() string {
+	mod := b.Module
+	if mod == "" {
+		mod = "dinfomap"
+	}
+	ver := b.Version
+	if ver == "" {
+		ver = "(unknown)"
+	}
+	s := fmt.Sprintf("%s %s", mod, ver)
+	if b.Go != "" {
+		s += " " + b.Go
+	}
+	if b.Revision != "" {
+		rev := b.Revision
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		s += " rev " + rev
+		if b.Modified {
+			s += " (modified)"
+		}
+	}
+	return s
+}

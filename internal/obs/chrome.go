@@ -4,7 +4,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 	"time"
+
+	"dinfomap/internal/mpi"
 )
 
 // chromeEvent is one record of the Chrome trace-event format
@@ -17,6 +20,8 @@ type chromeEvent struct {
 	Tid  int            `json:"tid"`
 	Ts   float64        `json:"ts"`            // microseconds
 	Dur  float64        `json:"dur,omitempty"` // microseconds
+	ID   string         `json:"id,omitempty"`  // flow-event binding id
+	BP   string         `json:"bp,omitempty"`  // flow binding point ("e": enclosing slice)
 	Args map[string]any `json:"args,omitempty"`
 }
 
@@ -33,6 +38,21 @@ func usec(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
 // event, with the per-iteration counters attached as span args. Open the
 // output in https://ui.perfetto.dev or chrome://tracing.
 func WriteChromeTrace(w io.Writer, j *Journal) error {
+	return WriteChromeTraceWith(w, j, nil)
+}
+
+// WriteChromeTraceWith additionally renders the wait-state events of a
+// run recorded with mpi.WithRecorder (sharing j's epoch):
+//
+//   - one flow arrow per matched p2p pair, from the send stamp on the
+//     sender's row to the receive completion on the receiver's row
+//     (Perfetto draws these as arrows between the enclosing slices);
+//   - a "blocked ranks" counter track stepping up while a rank sits in
+//     a blocked receive or between barrier arrival and release, so
+//     synchronization stalls are visible at a glance.
+//
+// rec may be nil, which reduces to WriteChromeTrace.
+func WriteChromeTraceWith(w io.Writer, j *Journal, rec *mpi.Recorder) error {
 	if j == nil {
 		return fmt.Errorf("obs: nil journal")
 	}
@@ -72,10 +92,83 @@ func WriteChromeTrace(w io.Writer, j *Journal) error {
 					"ops":      ev.Ops,
 					"msgs":     ev.Msgs,
 					"bytes":    ev.Bytes,
+					"wait_ns":  ev.WaitNs,
 				},
 			})
 		}
 	}
+	if rec != nil {
+		evs = append(evs, flowEvents(rec)...)
+		evs = append(evs, blockedCounterEvents(rec)...)
+	}
 	enc := json.NewEncoder(w)
 	return enc.Encode(chromeTrace{TraceEvents: evs, DisplayTimeUnit: "ms"})
+}
+
+// flowEvents renders every recorded p2p match as a flow start on the
+// sender's row and a flow finish on the receiver's row. The binding
+// point "e" attaches each end to the slice enclosing its timestamp.
+func flowEvents(rec *mpi.Recorder) []chromeEvent {
+	var out []chromeEvent
+	id := 0
+	for r := 0; r < rec.NumRanks(); r++ {
+		for _, e := range rec.P2P(r) {
+			id++
+			name := e.Kind.String()
+			args := map[string]any{"bytes": e.Bytes, "tag": e.Tag, "blocked": e.Blocked()}
+			out = append(out,
+				chromeEvent{
+					Name: name, Cat: "p2p", Ph: "s", Pid: 0, Tid: e.Src,
+					Ts: usec(e.SentAt), ID: fmt.Sprintf("p2p%d", id), Args: args,
+				},
+				chromeEvent{
+					Name: name, Cat: "p2p", Ph: "f", BP: "e", Pid: 0, Tid: r,
+					Ts: usec(e.RecvEnd), ID: fmt.Sprintf("p2p%d", id), Args: args,
+				},
+			)
+		}
+	}
+	return out
+}
+
+// blockedCounterEvents builds the "blocked ranks" counter track: +1
+// while a rank waits between barrier arrival and release or inside a
+// blocked receive, emitted as one counter sample per change point.
+func blockedCounterEvents(rec *mpi.Recorder) []chromeEvent {
+	type delta struct {
+		at time.Duration
+		d  int
+	}
+	var ds []delta
+	for r := 0; r < rec.NumRanks(); r++ {
+		for _, b := range rec.Barriers(r) {
+			ds = append(ds, delta{b.Arrive, +1}, delta{b.Release, -1})
+		}
+		for _, e := range rec.P2P(r) {
+			if e.Blocked() {
+				ds = append(ds, delta{e.RecvStart, +1}, delta{e.RecvEnd, -1})
+			}
+		}
+	}
+	if len(ds) == 0 {
+		return nil
+	}
+	// Deterministic order: by time, decrements before increments on ties
+	// so the running count never over-counts an instantaneous handoff.
+	sort.Slice(ds, func(i, k int) bool {
+		if ds[i].at != ds[k].at {
+			return ds[i].at < ds[k].at
+		}
+		return ds[i].d < ds[k].d
+	})
+	out := make([]chromeEvent, 0, len(ds))
+	blocked := 0
+	for _, d := range ds {
+		blocked += d.d
+		out = append(out, chromeEvent{
+			Name: "blocked ranks", Ph: "C", Pid: 0, Ts: usec(d.at),
+			Args: map[string]any{"blocked": blocked},
+		})
+	}
+	return out
 }

@@ -92,6 +92,10 @@ type Event struct {
 	Ops      int64 // counted work (delta-L evals, candidates, ghosts, modules)
 	Msgs     int64 // messages sent (p2p + modeled collective steps)
 	Bytes    int64 // bytes sent (p2p + modeled collective payloads)
+	// WaitNs is the time this rank spent blocked on communication within
+	// the span (late senders + barrier/collective skew; mpi.Stats
+	// BlockedNs delta). Measured host time, nondeterministic run to run.
+	WaitNs int64
 }
 
 // Dur returns the span length.
@@ -222,6 +226,27 @@ func (j *Journal) NumRanks() int {
 		return 0
 	}
 	return len(j.ranks)
+}
+
+// Epoch returns the journal's zero point. Pass it to mpi.NewRecorder so
+// recorded communication events and journal spans share one time base.
+// Zero on a nil journal.
+func (j *Journal) Epoch() time.Time {
+	if j == nil {
+		return time.Time{}
+	}
+	return j.epoch
+}
+
+// Subscribers returns the number of live taps currently attached.
+func (j *Journal) Subscribers() int {
+	if j == nil {
+		return 0
+	}
+	if taps := j.taps.Load(); taps != nil {
+		return len(*taps)
+	}
+	return 0
 }
 
 // Rank returns rank r's log. Nil-safe: a nil journal yields a nil log,

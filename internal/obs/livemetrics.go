@@ -43,16 +43,23 @@ type Metrics struct {
 	spanDur    *Vec // {phase} histogram, seconds
 	outerIters *Vec // {rank}
 
-	commKindBytes  *Vec // {rank, kind, direction}
-	commKindMsgs   *Vec // {rank, kind, direction}
-	commKindColls  *Vec // {rank, kind}
-	commRankBytes  *Vec // {rank, direction}
-	commRankMsgs   *Vec // {rank, direction}
-	commRankColls  *Vec // {rank}
-	journalEvents  *Vec
-	journalDropped *Vec
-	runFinished    *Vec
-	done           chan struct{}
+	commKindBytes *Vec // {rank, kind, direction}
+	commKindMsgs  *Vec // {rank, kind, direction}
+	commKindColls *Vec // {rank, kind}
+	commRankBytes *Vec // {rank, direction}
+	commRankMsgs  *Vec // {rank, direction}
+	commRankColls *Vec // {rank}
+	commKindWait  *Vec // {rank, kind, state} seconds
+	commRankWait  *Vec // {rank, state} seconds
+	recvsBlocked  *Vec // {rank}
+	barrierSyncs  *Vec // {rank}
+
+	journalEvents      *Vec
+	journalDropped     *Vec
+	journalSubscribers *Vec
+	runFinished        *Vec
+	buildInfo          *Vec
+	done               chan struct{}
 }
 
 // RunMetrics subscribes a tap on j, starts the collector goroutine, and
@@ -93,14 +100,29 @@ func RunMetrics(j *Journal) *Metrics {
 			"Cumulative rank message counts by direction; equals the per-kind sums.", "rank", "direction"),
 		commRankColls: reg.Counter("dinfomap_comm_rank_collectives_total",
 			"Cumulative collective operations by rank.", "rank"),
+		commKindWait: reg.Counter("dinfomap_comm_wait_seconds_total",
+			"Cumulative communication wait by rank, kind, and wait state (blocked: late sender; queued: inbox residency / late receiver; barrier: arrival-to-release skew).", "rank", "kind", "state"),
+		commRankWait: reg.Counter("dinfomap_comm_rank_wait_seconds_total",
+			"Cumulative communication wait by rank and wait state; equals the per-kind sums.", "rank", "state"),
+		recvsBlocked: reg.Counter("dinfomap_comm_recvs_blocked_total",
+			"Receives that blocked on a late sender, by rank.", "rank"),
+		barrierSyncs: reg.Counter("dinfomap_comm_barrier_syncs_total",
+			"Synchronization points entered (barriers and collective-internal syncs), by rank.", "rank"),
+
 		journalEvents: reg.Gauge("dinfomap_journal_events",
 			"Total journal events emitted across ranks."),
 		journalDropped: reg.Gauge("dinfomap_journal_dropped_events",
-			"Events lost to slow live subscribers (taps), journal lifetime."),
+			"Events lost to slow live subscribers (tap ring overflow), journal lifetime."),
+		journalSubscribers: reg.Gauge("dinfomap_journal_subscribers",
+			"Live event-stream subscribers (taps) currently attached."),
 		runFinished: reg.Gauge("dinfomap_run_finished",
 			"1 once the run has completed, else 0."),
+		buildInfo: reg.Gauge("dinfomap_build_info",
+			"Build provenance; value is always 1, the labels carry module version and VCS revision.", "version", "revision", "modified"),
 		done: make(chan struct{}),
 	}
+	b := ReadBuild()
+	m.buildInfo.With(b.Version, b.Revision, strconv.FormatBool(b.Modified)).Set(1)
 	tap := j.Subscribe(DefaultTapBuffer)
 	go func() {
 		defer close(m.done)
@@ -161,6 +183,9 @@ func (m *Metrics) scrape() {
 			m.commKindMsgs.With(rank, kind, "recv").Set(float64(ks.MsgsRecv))
 			m.commKindMsgs.With(rank, kind, "collective").Set(float64(ks.CollectiveMsgs))
 			m.commKindColls.With(rank, kind).Set(float64(ks.Collectives))
+			m.commKindWait.With(rank, kind, "blocked").Set(float64(ks.RecvBlockedNs) / 1e9)
+			m.commKindWait.With(rank, kind, "queued").Set(float64(ks.RecvQueueNs) / 1e9)
+			m.commKindWait.With(rank, kind, "barrier").Set(float64(ks.BarrierWaitNs) / 1e9)
 		}
 		m.commRankBytes.With(rank, "sent").Set(float64(s.BytesSent))
 		m.commRankBytes.With(rank, "recv").Set(float64(s.BytesRecv))
@@ -169,10 +194,16 @@ func (m *Metrics) scrape() {
 		m.commRankMsgs.With(rank, "recv").Set(float64(s.MsgsRecv))
 		m.commRankMsgs.With(rank, "collective").Set(float64(s.CollectiveMsgs))
 		m.commRankColls.With(rank).Set(float64(s.Collectives))
+		m.commRankWait.With(rank, "blocked").Set(float64(s.RecvBlockedNs) / 1e9)
+		m.commRankWait.With(rank, "queued").Set(float64(s.RecvQueueNs) / 1e9)
+		m.commRankWait.With(rank, "barrier").Set(float64(s.BarrierWaitNs) / 1e9)
+		m.recvsBlocked.With(rank).Set(float64(s.RecvsBlocked))
+		m.barrierSyncs.With(rank).Set(float64(s.BarrierSyncs))
 	}
 	st := m.j.Status()
 	m.journalEvents.With().Set(float64(st.Events))
 	m.journalDropped.With().Set(float64(st.DroppedEvents))
+	m.journalSubscribers.With().Set(float64(st.Subscribers))
 	if st.Finished {
 		m.runFinished.With().Set(1)
 	} else {

@@ -20,7 +20,10 @@ type PhaseCost struct {
 	Bytes int64 `json:"bytes"`
 }
 
-// CommTotals mirrors mpi.Stats with stable JSON names.
+// CommTotals mirrors mpi.Stats with stable JSON names. The wait-state
+// fields (schema addition, v1-compatible) are measured host times whose
+// JSON names carry "wall" so run-to-run diffs classify them ignored;
+// omitempty keeps reports from runs without waits unchanged.
 type CommTotals struct {
 	BytesSent       int64 `json:"bytes_sent"`
 	BytesRecv       int64 `json:"bytes_recv"`
@@ -29,6 +32,12 @@ type CommTotals struct {
 	Collectives     int64 `json:"collectives"`
 	CollectiveBytes int64 `json:"collective_bytes"`
 	CollectiveMsgs  int64 `json:"collective_msgs"`
+
+	RecvBlockedWallNs int64 `json:"recv_blocked_wall_ns,omitempty"`
+	RecvQueueWallNs   int64 `json:"recv_queue_wall_ns,omitempty"`
+	RecvsBlockedWall  int64 `json:"recvs_blocked_wall,omitempty"`
+	BarrierWaitWallNs int64 `json:"barrier_wait_wall_ns,omitempty"`
+	BarrierSyncs      int64 `json:"barrier_syncs,omitempty"`
 }
 
 // CommFromStats converts an mpi.Stats snapshot to its report form.
@@ -41,6 +50,12 @@ func CommFromStats(s mpi.Stats) CommTotals {
 		Collectives:     s.Collectives,
 		CollectiveBytes: s.CollectiveBytes,
 		CollectiveMsgs:  s.CollectiveMsgs,
+
+		RecvBlockedWallNs: s.RecvBlockedNs,
+		RecvQueueWallNs:   s.RecvQueueNs,
+		RecvsBlockedWall:  s.RecvsBlocked,
+		BarrierWaitWallNs: s.BarrierWaitNs,
+		BarrierSyncs:      s.BarrierSyncs,
 	}
 }
 
@@ -54,11 +69,17 @@ func commFromKind(k mpi.KindStats) CommTotals {
 		Collectives:     k.Collectives,
 		CollectiveBytes: k.CollectiveBytes,
 		CollectiveMsgs:  k.CollectiveMsgs,
+
+		RecvBlockedWallNs: k.RecvBlockedNs,
+		RecvQueueWallNs:   k.RecvQueueNs,
+		RecvsBlockedWall:  k.RecvsBlocked,
+		BarrierWaitWallNs: k.BarrierWaitNs,
+		BarrierSyncs:      k.BarrierSyncs,
 	}
 }
 
-// add accumulates o into c field-wise.
-func (c *CommTotals) add(o CommTotals) {
+// Add accumulates o into c field-wise.
+func (c *CommTotals) Add(o CommTotals) {
 	c.BytesSent += o.BytesSent
 	c.BytesRecv += o.BytesRecv
 	c.MsgsSent += o.MsgsSent
@@ -66,6 +87,11 @@ func (c *CommTotals) add(o CommTotals) {
 	c.Collectives += o.Collectives
 	c.CollectiveBytes += o.CollectiveBytes
 	c.CollectiveMsgs += o.CollectiveMsgs
+	c.RecvBlockedWallNs += o.RecvBlockedWallNs
+	c.RecvQueueWallNs += o.RecvQueueWallNs
+	c.RecvsBlockedWall += o.RecvsBlockedWall
+	c.BarrierWaitWallNs += o.BarrierWaitWallNs
+	c.BarrierSyncs += o.BarrierSyncs
 }
 
 // ByKindFromStats converts the per-kind buckets of an mpi.Stats
@@ -120,7 +146,7 @@ func BuildComms(stats []mpi.Stats) *CommsReport {
 	c := &CommsReport{ByKind: make(map[string]CommTotals)}
 	for _, s := range stats {
 		t := c.Totals
-		t.add(CommFromStats(s))
+		t.Add(CommFromStats(s))
 		c.Totals = t
 		for k := 0; k < mpi.NumKinds; k++ {
 			if s.ByKind[k] == (mpi.KindStats{}) {
@@ -128,7 +154,7 @@ func BuildComms(stats []mpi.Stats) *CommsReport {
 			}
 			name := mpi.Kind(k).String()
 			kt := c.ByKind[name]
-			kt.add(commFromKind(s.ByKind[k]))
+			kt.Add(commFromKind(s.ByKind[k]))
 			c.ByKind[name] = kt
 		}
 	}
@@ -244,6 +270,16 @@ type Report struct {
 	// Comms is the run-level communication rollup (totals and by-kind
 	// splits summed over ranks). Schema addition (v1-compatible).
 	Comms *CommsReport `json:"comms,omitempty"`
+	// WaitStates, CriticalPath, and LostTime are the wait-state analysis
+	// sections consumed by cmd/dinfomap-analyze. Schema additions
+	// (v1-compatible); present when the run journaled. All their timing
+	// fields are measured host wall clock (nondeterministic).
+	WaitStates   *WaitStatesReport `json:"waitstates,omitempty"`
+	CriticalPath []CritSegment     `json:"critical_path,omitempty"`
+	LostTime     *LostTimeReport   `json:"lost_time,omitempty"`
+	// Build records the binary's provenance. Schema addition
+	// (v1-compatible).
+	Build *BuildInfo   `json:"build,omitempty"`
 	Ranks []RankReport `json:"ranks"`
 }
 

@@ -206,8 +206,10 @@ type Status struct {
 	Events int64 `json:"events"`
 	// DroppedEvents counts events lost to slow live subscribers over
 	// the journal's lifetime (they remain in the post-hoc journal).
-	DroppedEvents int64        `json:"dropped_events"`
-	Ranks         []RankStatus `json:"ranks"`
+	DroppedEvents int64 `json:"dropped_events"`
+	// Subscribers is the number of live taps currently attached.
+	Subscribers int          `json:"subscribers"`
+	Ranks       []RankStatus `json:"ranks"`
 }
 
 // Status snapshots the journal's live progress.
@@ -219,6 +221,7 @@ func (j *Journal) Status() Status {
 	st.UptimeNs = time.Since(j.epoch).Nanoseconds()
 	st.Finished = j.finished.Load()
 	st.DroppedEvents = j.dropped.Load()
+	st.Subscribers = j.Subscribers()
 	st.Ranks = make([]RankStatus, len(j.ranks))
 	for r, rl := range j.ranks {
 		rs := RankStatus{Rank: r, Events: rl.emitted.Load(), Iter: -1}
@@ -250,6 +253,7 @@ type streamEventJSON struct {
 	Ops      int64  `json:"ops"`
 	Msgs     int64  `json:"msgs"`
 	Bytes    int64  `json:"bytes"`
+	WaitNs   int64  `json:"wait_ns"`
 }
 
 func toWire(ev StreamEvent) streamEventJSON {
@@ -267,6 +271,7 @@ func toWire(ev StreamEvent) streamEventJSON {
 		Ops:      ev.Ops,
 		Msgs:     ev.Msgs,
 		Bytes:    ev.Bytes,
+		WaitNs:   ev.WaitNs,
 	}
 }
 
