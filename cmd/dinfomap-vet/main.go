@@ -6,6 +6,10 @@
 // Standalone:
 //
 //	dinfomap-vet ./...
+//	dinfomap-vet -json ./...   emit diagnostics as JSON for tooling
+//	dinfomap-vet -stale ./...  also report //dinfomap:<key> comments
+//	                           that suppressed nothing (stale or
+//	                           typo'd justifications)
 //
 // As a go vet tool (same analyzers, integrated caching and test files
 // excluded either way):
@@ -16,7 +20,7 @@
 // Exit status: 0 when the tree is clean, 2 when findings were
 // reported, 1 on driver errors. Every finding must be fixed or carry
 // a //dinfomap:<key> justification comment; CI runs the suite at full
-// strictness.
+// strictness, with -stale, and uploads the -json findings artifact.
 package main
 
 import (

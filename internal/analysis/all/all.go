@@ -6,6 +6,7 @@ package all
 import (
 	"dinfomap/internal/analysis"
 	"dinfomap/internal/analysis/anysource"
+	"dinfomap/internal/analysis/bufalias"
 	"dinfomap/internal/analysis/closecheck"
 	"dinfomap/internal/analysis/codecsym"
 	"dinfomap/internal/analysis/floateq"
@@ -23,6 +24,7 @@ func Analyzers() []*analysis.Analyzer {
 		seededrand.Analyzer,
 		closecheck.Analyzer,
 		rankshare.Analyzer,
+		bufalias.Analyzer,
 		anysource.Analyzer,
 		codecsym.Analyzer,
 	}

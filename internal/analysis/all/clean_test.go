@@ -7,10 +7,14 @@ import (
 	"dinfomap/internal/analysis/all"
 )
 
-// TestRepositoryIsClean runs the full analyzer suite over the module
-// and demands zero findings: every true positive must be fixed and
-// every false positive justified with a //dinfomap:<key> comment, so a
-// regression in either direction fails go test, not just CI's vet job.
+// TestRepositoryIsClean runs the full analyzer suite — including
+// rankshare v2's alias tracking and the bufalias pooled-buffer check —
+// over the module and demands zero findings: every true positive must
+// be fixed and every false positive justified with a //dinfomap:<key>
+// comment, so a regression in either direction fails go test, not just
+// CI's vet job. Stale suppressions fail too: a justification comment
+// that no longer suppresses anything (or names no registered key) is
+// dead weight that would hide a future finding at the same site.
 func TestRepositoryIsClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("typechecks the whole module; skipped in -short mode")
@@ -19,11 +23,23 @@ func TestRepositoryIsClean(t *testing.T) {
 	if err != nil {
 		t.Fatalf("loading module: %v", err)
 	}
-	diags, err := analysis.RunAnalyzers(all.Analyzers(), pkgs)
+	names := map[string]bool{}
+	for _, a := range all.Analyzers() {
+		names[a.Name] = true
+	}
+	for _, want := range []string{"rankshare", "bufalias"} {
+		if !names[want] {
+			t.Errorf("suite is missing the %s analyzer", want)
+		}
+	}
+	diags, stale, err := analysis.RunAnalyzersStale(all.Analyzers(), pkgs)
 	if err != nil {
 		t.Fatalf("running analyzers: %v", err)
 	}
 	for _, d := range diags {
+		t.Errorf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+	}
+	for _, d := range stale {
 		t.Errorf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
 	}
 }

@@ -53,10 +53,19 @@ type Pass struct {
 
 	// report receives non-suppressed diagnostics.
 	report func(Diagnostic)
-	// suppressed maps "<filename>:<line>" to true for every line that
-	// carries (or is directly above a line that carries) this
-	// analyzer's suppression comment.
-	suppressed map[string]bool
+	// suppressed maps "<filename>:<line>" to the suppression comment
+	// covering that line (the comment's own line and the line below
+	// it) for this analyzer's key. Hits are recorded on the comment so
+	// stale suppressions can be reported.
+	suppressed map[string]*suppression
+}
+
+// suppression is one //dinfomap:<key> comment in a package's non-test
+// files, and whether any finding consumed it during the run.
+type suppression struct {
+	Key  string
+	Pos  token.Position
+	used bool
 }
 
 // Diagnostic is one finding.
@@ -78,7 +87,8 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	if strings.HasSuffix(position.Filename, "_test.go") {
 		return
 	}
-	if p.suppressed[suppressionAt(position)] {
+	if s := p.suppressed[suppressionAt(position)]; s != nil {
+		s.used = true
 		return
 	}
 	p.report(Diagnostic{
@@ -92,36 +102,60 @@ func suppressionAt(pos token.Position) string {
 	return fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
 }
 
-// buildSuppressions scans the files' comments for //dinfomap:<key>
-// markers and records the lines they cover: the comment's own line and
-// the line below it (so a marker can sit at the end of the offending
-// line or on its own line directly above).
-func buildSuppressions(fset *token.FileSet, files []*ast.File, key string) map[string]bool {
-	if key == "" {
-		return nil
-	}
-	marker := "dinfomap:" + key
-	sup := make(map[string]bool)
+// scanSuppressions collects every //dinfomap:<key> comment in the
+// package's files. Comments in _test.go files are skipped: Reportf
+// never consults suppressions there, so they can never be "used" and
+// must not be reported stale either.
+func scanSuppressions(fset *token.FileSet, files []*ast.File) []*suppression {
+	const marker = "dinfomap:"
+	var sups []*suppression
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
 				text := strings.TrimPrefix(c.Text, "//")
 				text = strings.TrimPrefix(text, "/*")
 				text = strings.TrimSpace(text)
-				if text != marker && !strings.HasPrefix(text, marker+" ") {
+				if !strings.HasPrefix(text, marker) {
+					continue
+				}
+				key := strings.TrimPrefix(text, marker)
+				if i := strings.IndexAny(key, " \t"); i >= 0 {
+					key = key[:i]
+				}
+				if key == "" {
 					continue
 				}
 				pos := fset.Position(c.Pos())
-				sup[suppressionAt(pos)] = true
-				sup[fmt.Sprintf("%s:%d", pos.Filename, pos.Line+1)] = true
+				if strings.HasSuffix(pos.Filename, "_test.go") {
+					continue
+				}
+				sups = append(sups, &suppression{Key: key, Pos: pos})
 			}
 		}
 	}
-	return sup
+	return sups
+}
+
+// coverLines maps the lines covered by the key's suppression comments —
+// each comment's own line and the line below it (so a marker can sit at
+// the end of the offending line or on its own line directly above).
+func coverLines(sups []*suppression, key string) map[string]*suppression {
+	if key == "" {
+		return nil
+	}
+	cover := make(map[string]*suppression)
+	for _, s := range sups {
+		if s.Key != key {
+			continue
+		}
+		cover[suppressionAt(s.Pos)] = s
+		cover[fmt.Sprintf("%s:%d", s.Pos.Filename, s.Pos.Line+1)] = s
+	}
+	return cover
 }
 
 // runAnalyzer applies one analyzer to one loaded package.
-func runAnalyzer(a *Analyzer, pkg *Package, report func(Diagnostic)) error {
+func runAnalyzer(a *Analyzer, pkg *Package, sups []*suppression, report func(Diagnostic)) error {
 	pass := &Pass{
 		Analyzer:   a,
 		Fset:       pkg.Fset,
@@ -129,27 +163,64 @@ func runAnalyzer(a *Analyzer, pkg *Package, report func(Diagnostic)) error {
 		Pkg:        pkg.Types,
 		TypesInfo:  pkg.Info,
 		report:     report,
-		suppressed: buildSuppressions(pkg.Fset, pkg.Files, a.SuppressKey),
+		suppressed: coverLines(sups, a.SuppressKey),
 	}
 	return a.Run(pass)
 }
 
+// StaleAnalyzerName tags the synthetic diagnostics RunAnalyzersStale
+// emits for suppression comments that suppressed nothing.
+const StaleAnalyzerName = "stale-suppression"
+
 // RunAnalyzers applies every analyzer to every package and returns the
 // combined diagnostics sorted by position.
 func RunAnalyzers(analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, error) {
-	var diags []Diagnostic
-	for _, pkg := range pkgs {
-		if len(pkg.TypeErrors) > 0 {
-			return nil, fmt.Errorf("%s: type errors: %v", pkg.ImportPath, pkg.TypeErrors[0])
-		}
-		for _, a := range analyzers {
-			if err := runAnalyzer(a, pkg, func(d Diagnostic) {
-				diags = append(diags, d)
-			}); err != nil {
-				return nil, fmt.Errorf("%s: analyzer %s: %w", pkg.ImportPath, a.Name, err)
-			}
+	diags, _, err := RunAnalyzersStale(analyzers, pkgs)
+	return diags, err
+}
+
+// RunAnalyzersStale is RunAnalyzers plus stale-suppression detection:
+// the second slice holds one diagnostic (analyzer "stale-suppression")
+// for every //dinfomap:<key> comment that suppressed nothing during
+// the run — no finding hit the lines it covers, or no analyzer in the
+// run registers its key (a typo'd or obsolete key silently suppresses
+// nothing, which is exactly the blindspot this reports).
+func RunAnalyzersStale(analyzers []*Analyzer, pkgs []*Package) (diags, stale []Diagnostic, err error) {
+	known := make(map[string]bool)
+	for _, a := range analyzers {
+		if a.SuppressKey != "" {
+			known[a.SuppressKey] = true
 		}
 	}
+	for _, pkg := range pkgs {
+		if len(pkg.TypeErrors) > 0 {
+			return nil, nil, fmt.Errorf("%s: type errors: %v", pkg.ImportPath, pkg.TypeErrors[0])
+		}
+		sups := scanSuppressions(pkg.Fset, pkg.Files)
+		for _, a := range analyzers {
+			if err := runAnalyzer(a, pkg, sups, func(d Diagnostic) {
+				diags = append(diags, d)
+			}); err != nil {
+				return nil, nil, fmt.Errorf("%s: analyzer %s: %w", pkg.ImportPath, a.Name, err)
+			}
+		}
+		for _, s := range sups {
+			if s.used {
+				continue
+			}
+			msg := fmt.Sprintf("stale suppression //dinfomap:%s: no finding here to suppress; remove it", s.Key)
+			if !known[s.Key] {
+				msg = fmt.Sprintf("suppression //dinfomap:%s names no analyzer in this run; fix the key or remove it", s.Key)
+			}
+			stale = append(stale, Diagnostic{Pos: s.Pos, Analyzer: StaleAnalyzerName, Message: msg})
+		}
+	}
+	sortDiags(diags)
+	sortDiags(stale)
+	return diags, stale, nil
+}
+
+func sortDiags(diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i].Pos, diags[j].Pos
 		if a.Filename != b.Filename {
@@ -163,7 +234,6 @@ func RunAnalyzers(analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, error) 
 		}
 		return diags[i].Analyzer < diags[j].Analyzer
 	})
-	return diags, nil
 }
 
 // WalkFiles applies fn to every node of every file in the pass.

@@ -1,0 +1,12 @@
+package bufalias_test
+
+import (
+	"testing"
+
+	"dinfomap/internal/analysis/analysistest"
+	"dinfomap/internal/analysis/bufalias"
+)
+
+func TestBufAlias(t *testing.T) {
+	analysistest.Run(t, "testdata", bufalias.Analyzer, "pooluse")
+}

@@ -1,0 +1,77 @@
+package flow
+
+// Dominance via the iterative Cooper–Harvey–Kennedy algorithm over
+// reverse postorder. The tree is built lazily on first query and cached
+// on the Func.
+
+// buildDom computes immediate dominators for all reachable blocks.
+func (f *Func) buildDom() {
+	if f.domBuilt {
+		return
+	}
+	f.domBuilt = true
+	entry := f.Entry
+	entry.idom = entry // sentinel so intersect terminates
+	for changed := true; changed; {
+		changed = false
+		for _, b := range f.rpo {
+			if b == entry {
+				continue
+			}
+			var idom *Block
+			for _, p := range b.Preds {
+				if p.idom == nil {
+					continue // back-edge pred not yet processed
+				}
+				if idom == nil {
+					idom = p
+				} else {
+					idom = intersect(idom, p)
+				}
+			}
+			if idom != nil && b.idom != idom {
+				b.idom = idom
+				changed = true
+			}
+		}
+	}
+	entry.idom = nil
+	for _, b := range f.rpo {
+		d := 0
+		for x := b; x.idom != nil; x = x.idom {
+			d++
+		}
+		b.domDepth = d
+	}
+}
+
+// intersect walks both fingers up the (partial) dominator tree to their
+// nearest common ancestor; RPO indices increase away from the entry.
+func intersect(a, b *Block) *Block {
+	for a != b {
+		for a.Index > b.Index {
+			a = a.idom
+		}
+		for b.Index > a.Index {
+			b = b.idom
+		}
+	}
+	return a
+}
+
+// Idom returns b's immediate dominator, or nil for the entry block (and
+// for a synthetic exit no return reaches).
+func (f *Func) Idom(b *Block) *Block {
+	f.buildDom()
+	return b.idom
+}
+
+// Dominates reports whether a dominates b: every path from the entry to
+// b passes through a. It is reflexive.
+func (f *Func) Dominates(a, b *Block) bool {
+	f.buildDom()
+	for b != nil && b.domDepth > a.domDepth {
+		b = b.idom
+	}
+	return a == b
+}

@@ -4,18 +4,37 @@
 // field write from per-rank code is a data race unless it follows one
 // of the sanctioned patterns:
 //
-//   - per-rank slot writes, rs.sliceField[rank] = v, where the index
-//     is the rank id (an identifier named "rank"/"r" assigned from
-//     Comm.Rank(), or a direct Comm.Rank() call);
-//   - rank-0-only publication inside an `if rank == 0` guard (exactly
-//     one writer; readers look only after mpi.Run returns — a barrier);
-//   - writes between an explicit mutex Lock/Unlock in the same body.
+//   - per-rank slot writes, rs.sliceField[rank] = v, where the index is
+//     the rank id — an identifier named "rank"/"r", a direct
+//     Comm.Rank() call, or any identifier whose reaching definitions
+//     are all Comm.Rank() calls;
+//   - rank-0-only publication in a block dominated by an `if rank == 0`
+//     guard (exactly one writer; readers look only after mpi.Run
+//     returns — a barrier);
+//   - writes at which a mutex is provably held on every incoming path
+//     (a must-held-lock dataflow over the function's CFG; deferred
+//     Unlocks release at function exit and so keep the lock held).
 //
-// Per-rank code is the set of functions reachable (via a same-package
-// call-graph walk) from a function named rankMain, from any function
-// value passed to mpi.Run, or from any function taking a *mpi.Comm
-// parameter. The analyzer is AST-based and intra-package; an SSA-based
-// v2 (tracking aliasing of runState through locals) is a ROADMAP item.
+// The check is flow-sensitive, built on the SSA-lite layer in
+// internal/analysis/flow: runState aliases are followed through local
+// copies, field/slice projections (p := &rs.f, sl := rs.buf), range
+// bindings, closure captures, and helper returns (x := getRS()), so a
+// write through any alias is checked — and a write to a genuinely
+// fresh local copy (var s runState; s.f = v) is not flagged.
+//
+// Per-rank code is the set of functions reachable from a function named
+// rankMain, from any function value passed to mpi.Run, or from any
+// function taking a *mpi.Comm parameter, through a same-package call
+// graph whose edges are resolved calls: direct calls, method calls,
+// calls through local function variables (via reaching definitions),
+// calls inside function literals, and function values passed as call
+// arguments. Writes inside a function literal are analyzed against the
+// literal's own CFG; enclosing rank==0 or lock guards do not carry into
+// it (the closure may run later, outside the guard).
+//
+// Known limits: taint does not flow through heap stores (stash the
+// pointer in a struct field, write through it later), and mutating
+// calls through &x are not definitions of x.
 //
 // False positives carry a justification:
 //
@@ -28,12 +47,13 @@ import (
 	"go/types"
 
 	"dinfomap/internal/analysis"
+	"dinfomap/internal/analysis/flow"
 )
 
 // Analyzer is the rankshare check.
 var Analyzer = &analysis.Analyzer{
 	Name:        "rankshare",
-	Doc:         "flags unguarded writes to shared runState fields from per-rank code",
+	Doc:         "flags unguarded writes to shared runState state (including aliases) from per-rank code",
 	SuppressKey: "rankshare-ok",
 	Run:         run,
 }
@@ -42,21 +62,77 @@ var Analyzer = &analysis.Analyzer{
 // activates only in packages that declare a type with this name.
 const sharedTypeName = "runState"
 
+// state carries one package's analysis across functions.
+type state struct {
+	pass          *analysis.Pass
+	shared        types.Type
+	decls         map[*types.Func]*ast.FuncDecl
+	infos         map[*types.Func]*funcInfo
+	returnsShared map[*types.Func]bool
+}
+
+// funcInfo is the per-function flow solution.
+type funcInfo struct {
+	fn      *types.Func
+	decl    *ast.FuncDecl
+	cfg     *flow.Func
+	ch      *flow.Chains
+	seeds   map[*types.Var]bool // receiver/params of shared type
+	tainted map[*types.Var]bool
+}
+
 func run(pass *analysis.Pass) error {
 	shared := findSharedType(pass)
 	if shared == nil {
 		return nil
 	}
-
-	decls := funcDecls(pass)
-	graph := buildCallGraph(pass, decls)
-	perRank := reachable(entryPoints(pass, decls), graph)
-
-	for fn, decl := range decls {
-		if !perRank[fn] || decl.Body == nil {
+	st := &state{
+		pass:          pass,
+		shared:        shared,
+		decls:         funcDecls(pass),
+		infos:         map[*types.Func]*funcInfo{},
+		returnsShared: map[*types.Func]bool{},
+	}
+	for fn, decl := range st.decls {
+		if decl.Body == nil {
 			continue
 		}
-		checkBody(pass, shared, decl)
+		cfg := flow.New(decl.Body)
+		params := signatureVars(fn)
+		info := &funcInfo{
+			fn:    fn,
+			decl:  decl,
+			cfg:   cfg,
+			ch:    flow.BuildChains(cfg, pass.TypesInfo, params),
+			seeds: map[*types.Var]bool{},
+		}
+		for _, v := range params {
+			if v != nil && st.isSharedType(v.Type()) {
+				info.seeds[v] = true
+			}
+		}
+		st.infos[fn] = info
+	}
+
+	st.solveReturnsShared()
+
+	graph := st.buildCallGraph()
+	roots, litRoots := st.entryPoints()
+	perRank := reachable(roots, graph)
+
+	for fn, info := range st.infos {
+		if !perRank[fn] {
+			continue
+		}
+		sharedVar := func(v *types.Var) bool {
+			return info.tainted[v] || info.seeds[v]
+		}
+		st.checkBody(info.cfg, info.ch, info.decl.Body, sharedVar)
+	}
+	// Function literals handed to mpi.Run directly are per-rank roots
+	// with no enclosing taint.
+	for _, lit := range litRoots {
+		st.checkFuncLit(lit, func(*types.Var) bool { return false })
 	}
 	return nil
 }
@@ -81,6 +157,17 @@ func findSharedType(pass *analysis.Pass) types.Type {
 	return tn.Type()
 }
 
+// isSharedType reports whether t is runState or *runState.
+func (st *state) isSharedType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	return types.Identical(t, st.shared)
+}
+
 func funcDecls(pass *analysis.Pass) map[*types.Func]*ast.FuncDecl {
 	decls := make(map[*types.Func]*ast.FuncDecl)
 	for _, file := range pass.Files {
@@ -97,26 +184,154 @@ func funcDecls(pass *analysis.Pass) map[*types.Func]*ast.FuncDecl {
 	return decls
 }
 
-// buildCallGraph records, for each declared function, the same-package
-// functions it mentions (call or function value — a mention is enough,
-// since a passed function may run on the callee's goroutine).
-func buildCallGraph(pass *analysis.Pass, decls map[*types.Func]*ast.FuncDecl) map[*types.Func][]*types.Func {
-	graph := make(map[*types.Func][]*types.Func)
-	for fn, decl := range decls {
-		if decl.Body == nil {
-			continue
+// signatureVars lists the variables defined at function entry: the
+// receiver, parameters, and named results.
+func signatureVars(fn *types.Func) []*types.Var {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	var out []*types.Var
+	if r := sig.Recv(); r != nil {
+		out = append(out, r)
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		out = append(out, sig.Params().At(i))
+	}
+	for i := 0; i < sig.Results().Len(); i++ {
+		if v := sig.Results().At(i); v.Name() != "" {
+			out = append(out, v)
 		}
-		ast.Inspect(decl.Body, func(n ast.Node) bool {
-			id, ok := n.(*ast.Ident)
-			if !ok {
+	}
+	return out
+}
+
+// solveReturnsShared computes, to a fixed point, which functions return
+// a value aliasing their shared parameters — so x := helper(rs) taints
+// x in the caller. Each round recomputes every function's taint under
+// the current summaries.
+func (st *state) solveReturnsShared() {
+	for changed := true; changed; {
+		changed = false
+		for fn, info := range st.infos {
+			info.tainted = st.computeTaint(info)
+			if st.returnsShared[fn] {
+				continue
+			}
+			returns := false
+			ast.Inspect(info.decl.Body, func(n ast.Node) bool {
+				if _, ok := n.(*ast.FuncLit); ok {
+					return false
+				}
+				ret, ok := n.(*ast.ReturnStmt)
+				if !ok {
+					return true
+				}
+				for _, res := range ret.Results {
+					if st.exprShared(info, res) {
+						returns = true
+					}
+				}
+				return true
+			})
+			if returns {
+				st.returnsShared[fn] = true
+				changed = true
+			}
+		}
+	}
+}
+
+// computeTaint runs the may-alias closure for one function: seeds are
+// the shared-typed receiver/params; taint flows through copies,
+// projections, range bindings, and calls to returnsShared functions.
+func (st *state) computeTaint(info *funcInfo) map[*types.Var]bool {
+	return info.ch.MayAlias(flow.TaintSpec{
+		Seeds: func(v *types.Var) bool { return info.seeds[v] },
+		Via: func(d *flow.Def, tainted func(ast.Expr) bool) bool {
+			if d.RHS == nil {
+				return false
+			}
+			if tainted(d.RHS) {
 				return true
 			}
-			callee, ok := pass.TypesInfo.Uses[id].(*types.Func)
-			if !ok {
-				return true
+			if call, ok := ast.Unparen(d.RHS).(*ast.CallExpr); ok {
+				if fn := st.calleeOf(call); fn != nil && st.returnsShared[fn] {
+					return true
+				}
 			}
-			if _, declared := decls[callee]; declared {
+			return false
+		},
+	})
+}
+
+// exprShared reports whether e's value aliases the shared state in
+// info's function: its base variable is tainted, or a call to a
+// returnsShared function.
+func (st *state) exprShared(info *funcInfo, e ast.Expr) bool {
+	if v := flow.BaseVar(st.pass.TypesInfo, e); v != nil {
+		return info.tainted[v] || info.seeds[v]
+	}
+	if call, ok := ast.Unparen(e).(*ast.CallExpr); ok {
+		if fn := st.calleeOf(call); fn != nil && st.returnsShared[fn] {
+			return true
+		}
+	}
+	return false
+}
+
+// calleeOf resolves a call expression to a same-package declared
+// function (direct call or method call), nil otherwise.
+func (st *state) calleeOf(call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = st.pass.TypesInfo.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = st.pass.TypesInfo.Uses[fun.Sel]
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return nil
+	}
+	if _, declared := st.decls[fn]; !declared {
+		return nil
+	}
+	return fn
+}
+
+// buildCallGraph resolves same-package callees per function: direct and
+// method calls, calls through local function variables (via reaching
+// definitions), calls inside function literals, and function values
+// passed as call arguments (the callee may invoke them).
+func (st *state) buildCallGraph() map[*types.Func][]*types.Func {
+	graph := make(map[*types.Func][]*types.Func)
+	for fn, info := range st.infos {
+		add := func(callee *types.Func) {
+			if callee != nil {
 				graph[fn] = append(graph[fn], callee)
+			}
+		}
+		ast.Inspect(info.decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if callee := st.calleeOf(call); callee != nil {
+				add(callee)
+			} else if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+				// f() where f is a local function variable: resolve the
+				// values f may hold through its definitions.
+				if v, ok := st.pass.TypesInfo.Uses[id].(*types.Var); ok {
+					for _, d := range info.ch.DefsOf(v) {
+						if d.RHS != nil {
+							add(st.funcRef(d.RHS))
+						}
+					}
+				}
+			}
+			for _, arg := range call.Args {
+				add(st.funcRef(arg))
 			}
 			return true
 		})
@@ -124,44 +339,56 @@ func buildCallGraph(pass *analysis.Pass, decls map[*types.Func]*ast.FuncDecl) ma
 	return graph
 }
 
-// entryPoints returns the roots of per-rank execution: rankMain by
-// name, functions handed to mpi.Run, and functions taking a parameter
-// whose type is (a pointer to) a named type called Comm from a package
-// named mpi.
-func entryPoints(pass *analysis.Pass, decls map[*types.Func]*ast.FuncDecl) []*types.Func {
+// funcRef resolves an expression used as a function value to a
+// same-package declared function.
+func (st *state) funcRef(e ast.Expr) *types.Func {
+	var obj types.Object
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj = st.pass.TypesInfo.Uses[x]
+	case *ast.SelectorExpr:
+		obj = st.pass.TypesInfo.Uses[x.Sel]
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return nil
+	}
+	if _, declared := st.decls[fn]; !declared {
+		return nil
+	}
+	return fn
+}
+
+// entryPoints returns the roots of per-rank execution — rankMain by
+// name, functions taking a (*mpi.Comm) parameter, function values
+// passed to mpi.Run — plus function literals handed to mpi.Run, which
+// are per-rank bodies with no declaration.
+func (st *state) entryPoints() ([]*types.Func, []*ast.FuncLit) {
 	var roots []*types.Func
-	for fn, decl := range decls {
+	for fn := range st.infos {
 		if fn.Name() == "rankMain" || hasCommParam(fn) {
 			roots = append(roots, fn)
-			continue
 		}
-		_ = decl
 	}
-	// Function values passed to mpi.Run(...) — e.g. mpi.Run(p, runner.rankMain).
-	for _, file := range pass.Files {
+	var lits []*ast.FuncLit
+	for _, file := range st.pass.Files {
 		ast.Inspect(file, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
-			if !ok || !isMpiRun(pass, call.Fun) {
+			if !ok || !isMpiRun(st.pass, call.Fun) {
 				return true
 			}
 			for _, arg := range call.Args {
-				var obj types.Object
-				switch a := ast.Unparen(arg).(type) {
-				case *ast.Ident:
-					obj = pass.TypesInfo.Uses[a]
-				case *ast.SelectorExpr:
-					obj = pass.TypesInfo.Uses[a.Sel]
+				if fn := st.funcRef(arg); fn != nil {
+					roots = append(roots, fn)
 				}
-				if fn, ok := obj.(*types.Func); ok {
-					if _, declared := decls[fn]; declared {
-						roots = append(roots, fn)
-					}
+				if lit, ok := ast.Unparen(arg).(*ast.FuncLit); ok {
+					lits = append(lits, lit)
 				}
 			}
 			return true
 		})
 	}
-	return roots
+	return roots, lits
 }
 
 func hasCommParam(fn *types.Func) bool {
@@ -217,138 +444,362 @@ func reachable(roots []*types.Func, graph map[*types.Func][]*types.Func) map[*ty
 	return seen
 }
 
-// checkBody flags unguarded shared-field writes inside one per-rank
-// function.
-func checkBody(pass *analysis.Pass, shared types.Type, decl *ast.FuncDecl) {
-	ast.Inspect(decl.Body, func(n ast.Node) bool {
-		var lhss []ast.Expr
-		switch st := n.(type) {
+// checkBody flags unguarded shared writes inside one per-rank CFG.
+// sharedVar decides whether a variable aliases the shared state;
+// function literals inside the body are analyzed recursively against
+// their own CFGs (with sharedVar as their capture environment).
+func (st *state) checkBody(cfg *flow.Func, ch *flow.Chains, body *ast.BlockStmt, sharedVar func(*types.Var) bool) {
+	lockIn := flow.RunForward(cfg, lockProblem())
+	guards := st.zeroGuardBlocks(cfg, ch, body)
+
+	var lits []*ast.FuncLit
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			lits = append(lits, x)
+			return false
 		case *ast.AssignStmt:
-			lhss = st.Lhs
+			for _, lhs := range x.Lhs {
+				st.checkWrite(cfg, ch, lhs, sharedVar, lockIn, guards)
+			}
 		case *ast.IncDecStmt:
-			lhss = []ast.Expr{st.X}
-		default:
-			return true
-		}
-		for _, lhs := range lhss {
-			target, idx := sharedWriteTarget(pass, shared, lhs)
-			if target == nil {
-				continue
-			}
-			if idx != nil && rankIndex(pass, idx) {
-				continue // rs.perRank[rank] = ... : the rank's own slot
-			}
-			if guarded(pass, decl.Body, n.Pos()) {
-				continue
-			}
-			what := "field"
-			if idx != nil {
-				what = "element"
-			}
-			pass.Reportf(lhs.Pos(),
-				"write to shared %s %s %s from per-rank code outside a rank==0 guard or mutex; "+
-					"use a per-rank slot indexed by rank or justify with //dinfomap:rankshare-ok",
-				sharedTypeName, what, exprString(lhs))
+			st.checkWrite(cfg, ch, x.X, sharedVar, lockIn, guards)
 		}
 		return true
 	})
+
+	for _, lit := range lits {
+		st.checkFuncLit(lit, sharedVar)
+	}
 }
 
-// sharedWriteTarget reports whether lhs writes through a runState
-// value: rs.f, rs.f.g, rs.f[i], rs.f[i].g, ... It returns the root
-// selector and, when the write lands in a slice/map element, the
-// index expression.
-func sharedWriteTarget(pass *analysis.Pass, shared types.Type, lhs ast.Expr) (root ast.Expr, index ast.Expr) {
+// checkFuncLit analyzes a function literal from per-rank code as its
+// own function: its CFG, lock proofs, and rank==0 guards are local
+// (guards taken in the enclosing function do not carry in — the
+// closure may run after the guard no longer holds), while outerShared
+// supplies the taint of captured variables.
+func (st *state) checkFuncLit(lit *ast.FuncLit, outerShared func(*types.Var) bool) {
+	cfg := flow.New(lit.Body)
+	var params []*types.Var
+	seeds := map[*types.Var]bool{}
+	if sig, ok := st.pass.TypesInfo.TypeOf(lit).(*types.Signature); ok {
+		for i := 0; i < sig.Params().Len(); i++ {
+			v := sig.Params().At(i)
+			params = append(params, v)
+			if st.isSharedType(v.Type()) {
+				seeds[v] = true
+			}
+		}
+	}
+	ch := flow.BuildChains(cfg, st.pass.TypesInfo, params)
+	seedFn := func(v *types.Var) bool { return seeds[v] || outerShared(v) }
+	tainted := ch.MayAlias(flow.TaintSpec{
+		Seeds: seedFn,
+		Via: func(d *flow.Def, t func(ast.Expr) bool) bool {
+			if d.RHS == nil {
+				return false
+			}
+			if t(d.RHS) {
+				return true
+			}
+			if call, ok := ast.Unparen(d.RHS).(*ast.CallExpr); ok {
+				if fn := st.calleeOf(call); fn != nil && st.returnsShared[fn] {
+					return true
+				}
+			}
+			return false
+		},
+	})
+	st.checkBody(cfg, ch, lit.Body, func(v *types.Var) bool {
+		return tainted[v] || seedFn(v)
+	})
+}
+
+// checkWrite classifies one assignment target and reports it when it
+// writes shared state without a sanctioned guard.
+func (st *state) checkWrite(cfg *flow.Func, ch *flow.Chains, lhs ast.Expr, sharedVar func(*types.Var) bool, lockIn []lockSet, guards []*flow.Block) {
+	target, idx := st.writeTarget(lhs, sharedVar)
+	if !target {
+		return
+	}
+	if idx != nil && st.rankIndex(ch, idx) {
+		return // rs.perRank[rank] = ... : the rank's own slot
+	}
+	b := ch.BlockOf(lhs)
+	if b != nil {
+		for _, g := range guards {
+			if cfg.Dominates(g, b) {
+				return // every path here passed the rank==0 test
+			}
+		}
+		if lockHeldAt(lockIn[b.Index], b, lhs) {
+			return
+		}
+	}
+	what := "field"
+	if idx != nil {
+		what = "element"
+	}
+	st.pass.Reportf(lhs.Pos(),
+		"write to shared %s %s %s from per-rank code outside a rank==0 guard or mutex; "+
+			"use a per-rank slot indexed by rank or justify with //dinfomap:rankshare-ok",
+		sharedTypeName, what, exprString(lhs))
+}
+
+// writeTarget reports whether lhs writes through a value aliasing the
+// shared runState, and the (outermost) index expression when the write
+// lands in a slice/map element. The base of the chain decides: a
+// variable counts when tainted/seeded, or when it is a package-level
+// variable of the shared type; a non-variable base (call result, ...)
+// falls back to type identity.
+func (st *state) writeTarget(lhs ast.Expr, sharedVar func(*types.Var) bool) (shared bool, index ast.Expr) {
 	e := lhs
 	for {
 		switch x := e.(type) {
-		case *ast.SelectorExpr:
-			if isSharedValue(pass, shared, x.X) {
-				return x, index
-			}
-			e = x.X
-		case *ast.IndexExpr:
-			if isSharedValue(pass, shared, x.X) {
-				// Writing rs.someSlice[i] hits x.X = rs.someSlice below;
-				// a bare rs[i] cannot occur (runState is a struct).
-				return nil, nil
-			}
-			index = x.Index
-			e = x.X
 		case *ast.ParenExpr:
 			e = x.X
 		case *ast.StarExpr:
 			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			if index == nil {
+				index = x.Index
+			}
+			e = x.X
+		case *ast.Ident:
+			v, _ := st.pass.TypesInfo.ObjectOf(x).(*types.Var)
+			if v == nil {
+				return false, nil
+			}
+			if e == lhs {
+				// The target is the bare variable: assigning it rebinds
+				// the local, it does not write through the alias. Only
+				// a package-level shared variable is itself shared.
+				return flow.IsPackageLevel(v) && st.isSharedType(v.Type()), index
+			}
+			if sharedVar(v) {
+				return true, index
+			}
+			if flow.IsPackageLevel(v) && st.isSharedType(v.Type()) {
+				return true, index
+			}
+			return false, nil
 		default:
-			return nil, nil
+			// Call result or other opaque base: fall back to the type.
+			return st.isSharedType(st.pass.TypesInfo.TypeOf(e)), index
 		}
 	}
-}
-
-// isSharedValue reports whether e's type is runState or *runState.
-func isSharedValue(pass *analysis.Pass, shared types.Type, e ast.Expr) bool {
-	t := pass.TypesInfo.TypeOf(e)
-	if t == nil {
-		return false
-	}
-	if p, ok := t.(*types.Pointer); ok {
-		t = p.Elem()
-	}
-	return types.Identical(t, shared)
 }
 
 // rankIndex reports whether idx is the local rank id: an identifier
-// named rank (or r), or a call to a method named Rank.
-func rankIndex(pass *analysis.Pass, idx ast.Expr) bool {
+// named rank (or r), a call to a method named Rank, a selector .rank —
+// or any identifier whose reaching definitions are all Rank() calls.
+func (st *state) rankIndex(ch *flow.Chains, idx ast.Expr) bool {
 	switch x := ast.Unparen(idx).(type) {
 	case *ast.Ident:
-		return x.Name == "rank" || x.Name == "r"
-	case *ast.CallExpr:
-		if sel, ok := x.Fun.(*ast.SelectorExpr); ok {
-			return sel.Sel.Name == "Rank"
+		if x.Name == "rank" || x.Name == "r" {
+			return true
 		}
+		v, _ := st.pass.TypesInfo.ObjectOf(x).(*types.Var)
+		if v == nil {
+			return false
+		}
+		defs := ch.ReachingDefs(x, v)
+		if len(defs) == 0 {
+			return false
+		}
+		for _, d := range defs {
+			if !isRankCall(d.RHS) {
+				return false
+			}
+		}
+		return true
+	case *ast.CallExpr:
+		return isRankCall(x)
 	case *ast.SelectorExpr:
 		return x.Sel.Name == "rank"
 	}
 	return false
 }
 
-// guarded reports whether pos sits inside an `if rank == 0`-style
-// conditional, or lexically after a .Lock() call in the same body.
-func guarded(pass *analysis.Pass, body *ast.BlockStmt, pos token.Pos) bool {
-	locked := false
-	guardedByIf := false
+// isRankCall matches a call to a method named Rank.
+func isRankCall(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	return ok && sel.Sel.Name == "Rank"
+}
+
+// zeroGuardBlocks collects the then-entry blocks of `if rank == 0`
+// guards in body (excluding function literals): a write whose block is
+// dominated by one of them runs only on rank 0.
+func (st *state) zeroGuardBlocks(cfg *flow.Func, ch *flow.Chains, body *ast.BlockStmt) []*flow.Block {
+	var guards []*flow.Block
 	ast.Inspect(body, func(n ast.Node) bool {
-		switch x := n.(type) {
-		case *ast.CallExpr:
-			if sel, ok := x.Fun.(*ast.SelectorExpr); ok &&
-				sel.Sel.Name == "Lock" && x.End() <= pos {
-				locked = true
-			}
-		case *ast.IfStmt:
-			if x.Body.Pos() <= pos && pos <= x.Body.End() && isRankZeroCond(pass, x.Cond) {
-				guardedByIf = true
-			}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		ifst, ok := n.(*ast.IfStmt)
+		if !ok || !st.isRankZeroCond(ch, ifst.Cond) || len(ifst.Body.List) == 0 {
+			return true
+		}
+		if b := ch.BlockOf(ifst.Body.List[0]); b != nil {
+			guards = append(guards, b)
 		}
 		return true
 	})
-	return locked || guardedByIf
+	return guards
 }
 
 // isRankZeroCond matches conditions comparing a rank-like expression
 // with a constant: rank == 0, c.Rank() == 0, 0 == rank, possibly
 // nested in && / ||.
-func isRankZeroCond(pass *analysis.Pass, cond ast.Expr) bool {
+func (st *state) isRankZeroCond(ch *flow.Chains, cond ast.Expr) bool {
 	switch x := ast.Unparen(cond).(type) {
 	case *ast.BinaryExpr:
 		switch x.Op {
 		case token.LAND, token.LOR:
-			return isRankZeroCond(pass, x.X) || isRankZeroCond(pass, x.Y)
+			return st.isRankZeroCond(ch, x.X) || st.isRankZeroCond(ch, x.Y)
 		case token.EQL:
-			return rankIndex(pass, x.X) || rankIndex(pass, x.Y)
+			return st.rankIndex(ch, x.X) || st.rankIndex(ch, x.Y)
 		}
 	}
 	return false
+}
+
+// --- must-held-lock dataflow ---
+
+// lockSet is the must-analysis lattice: the set of mutexes (by
+// canonical receiver expression, e.g. "rs.mu") held on every path.
+type lockSet struct {
+	top  bool
+	held map[string]bool
+}
+
+func lockProblem() flow.ForwardProblem[lockSet] {
+	return flow.ForwardProblem[lockSet]{
+		Entry: func() lockSet { return lockSet{held: map[string]bool{}} },
+		Top:   func() lockSet { return lockSet{top: true} },
+		Join: func(a, b lockSet) lockSet {
+			if a.top {
+				return b
+			}
+			if b.top {
+				return a
+			}
+			out := lockSet{held: map[string]bool{}}
+			for m := range a.held {
+				if b.held[m] {
+					out.held[m] = true
+				}
+			}
+			return out
+		},
+		Transfer: func(b *flow.Block, in lockSet) lockSet {
+			s := in.clone()
+			for _, n := range b.Nodes {
+				s = lockApply(s, n)
+			}
+			return s
+		},
+		Equal: func(a, b lockSet) bool {
+			if a.top != b.top || len(a.held) != len(b.held) {
+				return false
+			}
+			for m := range a.held {
+				if !b.held[m] {
+					return false
+				}
+			}
+			return true
+		},
+	}
+}
+
+func (s lockSet) clone() lockSet {
+	out := lockSet{top: s.top, held: map[string]bool{}}
+	for m := range s.held {
+		out.held[m] = true
+	}
+	return out
+}
+
+// lockApply folds one block node's Lock/Unlock calls into the held set.
+// Deferred calls are skipped (a deferred Unlock releases only at
+// function exit, so it does not end the critical section here), as are
+// function literals and range heads (their interiors execute
+// elsewhere).
+func lockApply(s lockSet, n ast.Node) lockSet {
+	switch n.(type) {
+	case *ast.DeferStmt, *ast.RangeStmt:
+		return s
+	}
+	ast.Inspect(n, func(sub ast.Node) bool {
+		if _, ok := sub.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := sub.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		switch sel.Sel.Name {
+		case "Lock":
+			if key := exprKey(sel.X); key != "" {
+				s.held[key] = true
+			}
+		case "Unlock":
+			if key := exprKey(sel.X); key != "" {
+				delete(s.held, key)
+			}
+		}
+		return true
+	})
+	return s
+}
+
+// lockHeldAt simulates b's nodes from its entry state up to (but not
+// including) the node containing pos, and reports whether any mutex is
+// then must-held.
+func lockHeldAt(in lockSet, b *flow.Block, at ast.Expr) bool {
+	s := in
+	if s.top {
+		return false
+	}
+	s = s.clone()
+	for _, n := range b.Nodes {
+		if n.Pos() <= at.Pos() && at.End() <= n.End() {
+			break
+		}
+		s = lockApply(s, n)
+	}
+	return len(s.held) > 0
+}
+
+// exprKey renders a selector chain to a canonical string ("rs.mu",
+// "lv.state.mu"); "" when the expression is not a plain chain.
+func exprKey(e ast.Expr) string {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		base := exprKey(x.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + x.Sel.Name
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			return exprKey(x.X)
+		}
+	}
+	return ""
 }
 
 func exprString(e ast.Expr) string {
@@ -359,8 +810,10 @@ func exprString(e ast.Expr) string {
 		return exprString(e.X) + "." + e.Sel.Name
 	case *ast.IndexExpr:
 		return exprString(e.X) + "[...]"
-	case *ast.ParenExpr, *ast.StarExpr:
-		return "expression"
+	case *ast.StarExpr:
+		return "*" + exprString(e.X)
+	case *ast.ParenExpr:
+		return exprString(e.X)
 	}
 	return "expression"
 }

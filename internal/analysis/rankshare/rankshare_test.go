@@ -10,3 +10,12 @@ import (
 func TestRankShare(t *testing.T) {
 	analysistest.Run(t, "testdata", rankshare.Analyzer, "rankstate")
 }
+
+// TestRankShareAlias locks in the v2 alias semantics: writes through
+// field pointers, slice headers, local copies, helper returns, and
+// closure captures are flagged (the v1 lexical check missed all but the
+// pointer copy), fresh local copies are not (v1 false-positived), and
+// mutex protection is a must-held proof rather than an after-Lock scan.
+func TestRankShareAlias(t *testing.T) {
+	analysistest.Run(t, "testdata", rankshare.Analyzer, "rankalias")
+}

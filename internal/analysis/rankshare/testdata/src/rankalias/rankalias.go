@@ -1,0 +1,108 @@
+// Testdata for rankshare v2's alias tracking: every case here is
+// invisible to a purely type-identity check on the written expression —
+// the write goes through a local alias (field pointer, slice header,
+// helper return, closure capture), or is a fresh copy that must NOT be
+// flagged. The Lock/Unlock cases exercise the must-held dataflow.
+package rankalias
+
+import "sync"
+
+type runState struct {
+	perRank []int
+	out     []int
+	total   int
+	mu      sync.Mutex
+}
+
+func rankMain(rs *runState, rank int) {
+	// Write through a field pointer: the lexical v1 check never saw a
+	// runState-typed expression here.
+	p := &rs.total
+	*p = 2 // want `write to shared runState field \*p from per-rank code`
+
+	// Write through a slice alias of a shared field.
+	sl := rs.perRank
+	sl[rank+1] = 3 // want `write to shared runState element sl\[\.\.\.\] from per-rank code`
+	sl[rank] = 1   // the rank's own slot, through the alias: allowed
+
+	// A fresh local copy aliases nothing; writing its fields is safe.
+	// (v1 flagged this on type identity alone.)
+	var fresh runState
+	fresh.total = 6
+	_ = fresh
+
+	// A copy of the pointer is the shared state itself.
+	s := rs
+	s.total = 7 // want `write to shared runState field s\.total from per-rank code`
+
+	aliasReturn(rs)
+	closures(rs, rank)
+	lockPaired(rs, rank)
+	indirect(rs)
+	viaRankCall(rs, comm{})
+}
+
+// self returns its argument: callers' results alias the shared state.
+func self(rs *runState) *runState { return rs }
+
+func aliasReturn(rs *runState) {
+	x := self(rs)
+	x.total++ // want `write to shared runState field x\.total from per-rank code`
+}
+
+// closures: captured aliases are tracked inside function literals, and
+// guards from the enclosing function do not carry in.
+func closures(rs *runState, rank int) {
+	f := func() {
+		rs.total++           // want `write to shared runState field rs\.total from per-rank code`
+		rs.perRank[rank] = 4 // the rank's own slot: allowed even in a closure
+	}
+	f()
+}
+
+// lockPaired: the mutex is provably held after a Lock on every branch
+// (v1's lexical scan could not distinguish these), and provably not
+// held after the Unlock or when only one branch locked.
+func lockPaired(rs *runState, rank int) {
+	if rank%2 == 0 {
+		rs.mu.Lock()
+	} else {
+		rs.mu.Lock()
+	}
+	rs.total++ // both paths hold the lock: allowed
+	rs.mu.Unlock()
+	rs.total++ // want `write to shared runState field rs\.total from per-rank code`
+	if rank%2 == 0 {
+		rs.mu.Lock()
+	}
+	rs.total++ // want `write to shared runState field rs\.total from per-rank code`
+	if rank%2 == 0 {
+		rs.mu.Unlock()
+	}
+}
+
+// indirect: the callee is resolved through a local function variable,
+// so bump is per-rank too.
+func indirect(rs *runState) {
+	f := bump
+	f(rs)
+}
+
+func bump(rs *runState) {
+	rs.total++ // want `write to shared runState field rs\.total from per-rank code`
+}
+
+// comm stands in for mpi.Comm (testdata is stdlib-only).
+type comm struct{}
+
+func (comm) Rank() int { return 0 }
+
+// viaRankCall: an index variable not named rank/r still counts as the
+// rank id when all its reaching definitions are Rank() calls.
+func viaRankCall(rs *runState, c comm) {
+	me := c.Rank()
+	rs.perRank[me] = 1 // allowed: me is the rank id by def-use
+	other := c.Rank()
+	other = other + 1
+	rs.perRank[other] = 2 // want `write to shared runState element rs\.perRank\[\.\.\.\] from per-rank code`
+}

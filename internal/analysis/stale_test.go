@@ -1,0 +1,128 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// typecheck builds a one-file Package in memory so driver tests can run
+// without `go list` or a module on disk.
+func typecheck(t *testing.T, filename, src string) *Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, filename, src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: importer.Default()}
+	pkg, err := conf.Check("p", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	return &Package{
+		ImportPath: "p",
+		Fset:       fset,
+		Files:      []*ast.File{f},
+		Types:      pkg,
+		Info:       info,
+	}
+}
+
+// flagTodo reports every call to a function named todo; suppressible
+// with //dinfomap:todo-ok.
+var flagTodo = &Analyzer{
+	Name:        "todotest",
+	Doc:         "flags calls to todo()",
+	SuppressKey: "todo-ok",
+	Run: func(p *Pass) error {
+		p.WalkFiles(func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "todo" {
+					p.Reportf(call.Pos(), "call to todo")
+				}
+			}
+			return true
+		})
+		return nil
+	},
+}
+
+func TestStaleSuppressions(t *testing.T) {
+	pkg := typecheck(t, "a.go", `package p
+
+func todo() {}
+
+func f() {
+	todo() //dinfomap:todo-ok used: suppresses the finding on this line
+}
+
+//dinfomap:todo-ok stale: nothing on this line or the next to suppress
+func g() {}
+
+func h() {
+	_ = 1 //dinfomap:bogus-key unknown: no analyzer registers this
+}
+`)
+	diags, stale, err := RunAnalyzersStale([]*Analyzer{flagTodo}, []*Package{pkg})
+	if err != nil {
+		t.Fatalf("RunAnalyzersStale: %v", err)
+	}
+	if len(diags) != 0 {
+		t.Errorf("want 0 findings (the one real finding is suppressed), got %v", diags)
+	}
+	if len(stale) != 2 {
+		t.Fatalf("want 2 stale diagnostics, got %v", stale)
+	}
+	for _, d := range stale {
+		if d.Analyzer != StaleAnalyzerName {
+			t.Errorf("stale diagnostic tagged %q, want %q", d.Analyzer, StaleAnalyzerName)
+		}
+	}
+	if !strings.Contains(stale[0].Message, "no finding here to suppress") {
+		t.Errorf("unused-key message: got %q", stale[0].Message)
+	}
+	if !strings.Contains(stale[1].Message, "names no analyzer in this run") {
+		t.Errorf("unknown-key message: got %q", stale[1].Message)
+	}
+}
+
+func TestStaleSkipsTestFiles(t *testing.T) {
+	pkg := typecheck(t, "a_test.go", `package p
+
+//dinfomap:todo-ok suppressions in _test.go files are never scanned
+func g() {}
+`)
+	_, stale, err := RunAnalyzersStale([]*Analyzer{flagTodo}, []*Package{pkg})
+	if err != nil {
+		t.Fatalf("RunAnalyzersStale: %v", err)
+	}
+	if len(stale) != 0 {
+		t.Errorf("want 0 stale diagnostics for _test.go comments, got %v", stale)
+	}
+}
+
+func TestRunAnalyzersDropsStale(t *testing.T) {
+	pkg := typecheck(t, "a.go", `package p
+
+//dinfomap:todo-ok stale
+func g() {}
+`)
+	diags, err := RunAnalyzers([]*Analyzer{flagTodo}, []*Package{pkg})
+	if err != nil {
+		t.Fatalf("RunAnalyzers: %v", err)
+	}
+	if len(diags) != 0 {
+		t.Errorf("RunAnalyzers must not surface stale suppressions, got %v", diags)
+	}
+}

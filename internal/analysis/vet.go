@@ -51,8 +51,9 @@ func Main(analyzers []*Analyzer) {
 
 	fs := flag.NewFlagSet(progname, flag.ExitOnError)
 	jsonOut := fs.Bool("json", false, "emit diagnostics as JSON")
+	staleOut := fs.Bool("stale", false, "also report //dinfomap:<key> comments that suppressed nothing")
 	fs.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: %s [-json] package...\n\n", progname)
+		fmt.Fprintf(os.Stderr, "usage: %s [-json] [-stale] package...\n\n", progname)
 		fmt.Fprintf(os.Stderr, "Analyzers:\n")
 		for _, a := range analyzers {
 			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, firstLine(a.Doc))
@@ -74,12 +75,18 @@ func Main(analyzers []*Analyzer) {
 		fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
 		os.Exit(1)
 	}
-	diags, err := RunAnalyzers(analyzers, pkgs)
+	diags, stale, err := RunAnalyzersStale(analyzers, pkgs)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
 		os.Exit(1)
 	}
+	if *staleOut {
+		diags = append(diags, stale...)
+	}
 	if *jsonOut {
+		if diags == nil {
+			diags = []Diagnostic{} // encode a clean tree as [], not null
+		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(diags)
