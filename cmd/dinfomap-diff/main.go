@@ -33,11 +33,14 @@ func main() {
 			"relative traffic-bytes increase tolerated before failing")
 		reportPath = flag.String("report", "", "write the JSON diff report to this file")
 		verbose    = flag.Bool("v", false, "print informational findings, not just regressions")
-		version    = flag.Bool("version", false, "print build provenance and exit")
+		parity     = flag.Bool("parity", false,
+			"compare two run-report FILES for cross-transport parity: deterministic fields bit-exact, host wall/wait times ignored")
+		version = flag.Bool("version", false, "print build provenance and exit")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
-			"usage: dinfomap-diff [flags] <baseline-dir> <candidate-dir>\n")
+			"usage: dinfomap-diff [flags] <baseline-dir> <candidate-dir>\n"+
+				"       dinfomap-diff -parity <report-a.json> <report-b.json>\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -48,6 +51,9 @@ func main() {
 	if flag.NArg() != 2 {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *parity {
+		os.Exit(runParity(flag.Arg(0), flag.Arg(1)))
 	}
 
 	rep, err := regress.Diff(flag.Arg(0), flag.Arg(1), regress.Options{

@@ -1,0 +1,112 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"dinfomap/internal/obs"
+)
+
+// runParity compares two run reports for cross-transport parity: every
+// deterministic field — quality, convergence traces, partition layout,
+// traffic counters, modeled times, barrier sync counts — must match
+// bit for bit, while measured host wall/wait times (nondeterministic
+// by nature, and different between goroutine scheduling and OS
+// processes) are ignored, along with the journal-only analysis
+// sections that exist only for in-process runs. Returns an exit code.
+func runParity(pathA, pathB string) int {
+	a, err := loadNormalized(pathA)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dinfomap-diff:", err)
+		return 2
+	}
+	b, err := loadNormalized(pathB)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dinfomap-diff:", err)
+		return 2
+	}
+	if bytes.Equal(a, b) {
+		fmt.Println("parity ok: reports agree on every deterministic field")
+		return 0
+	}
+	la := bytes.Split(a, []byte("\n"))
+	lb := bytes.Split(b, []byte("\n"))
+	shown := 0
+	for i := 0; i < len(la) && i < len(lb) && shown < 10; i++ {
+		if !bytes.Equal(la[i], lb[i]) {
+			fmt.Printf("line %d differs:\n  %s: %s\n  %s: %s\n",
+				i+1, pathA, la[i], pathB, lb[i])
+			shown++
+		}
+	}
+	if shown == 0 {
+		fmt.Printf("reports differ in length: %d vs %d lines\n", len(la), len(lb))
+	}
+	fmt.Println("FAIL: transports disagree on deterministic fields")
+	return 1
+}
+
+// loadNormalized parses a run report and renders it with every
+// nondeterministic field scrubbed, so two normalized reports are
+// byte-comparable.
+func loadNormalized(path string) ([]byte, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := obs.ParseReport(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	scrubReport(rep)
+	return json.MarshalIndent(rep, "", "  ")
+}
+
+// scrubReport zeroes the measured host times and drops the
+// journal-only sections; everything left must be bit-identical across
+// transports for the same graph, config, and seed.
+func scrubReport(rep *obs.Report) {
+	rep.Timing.Stage1WallNs = 0
+	rep.Timing.Stage2WallNs = 0
+	rep.Timing.PhaseWallNs = nil
+	rep.WaitStates = nil
+	rep.CriticalPath = nil
+	rep.LostTime = nil
+	rep.Build = nil
+	if rep.Comms != nil {
+		scrubComm(&rep.Comms.Totals)
+		scrubCommMap(rep.Comms.ByKind)
+	}
+	for i := range rep.Ranks {
+		r := &rep.Ranks[i]
+		r.Wall1Ns = 0
+		r.Wall2Ns = 0
+		r.PhaseWallNs = nil
+		scrubComm(&r.Comm)
+		scrubCommMap(r.CommByKind)
+		for k := range r.Iterations {
+			r.Iterations[k].WallNs = 0
+			scrubComm(&r.Iterations[k].Comm)
+			scrubCommMap(r.Iterations[k].CommByKind)
+		}
+	}
+}
+
+// scrubComm zeroes the wall-clock wait measurements of one comm
+// record. The traffic counters and BarrierSyncs stay: they are
+// deterministic and the parity check's point.
+func scrubComm(c *obs.CommTotals) {
+	c.RecvBlockedWallNs = 0
+	c.RecvQueueWallNs = 0
+	c.RecvsBlockedWall = 0
+	c.BarrierWaitWallNs = 0
+}
+
+func scrubCommMap(m map[string]obs.CommTotals) {
+	for k, c := range m {
+		scrubComm(&c)
+		m[k] = c
+	}
+}

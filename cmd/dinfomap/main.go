@@ -35,6 +35,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"time"
 
 	"dinfomap"
@@ -43,22 +44,35 @@ import (
 
 func main() {
 	var (
-		p       = flag.Int("p", 4, "number of simulated ranks")
-		dHigh   = flag.Int("dhigh", 0, "delegate degree threshold (0 = auto)")
-		seed    = flag.Uint64("seed", 1, "random seed")
-		dataset = flag.String("dataset", "", "built-in dataset name instead of a file")
-		scale   = flag.Float64("scale", 1.0, "built-in dataset scale factor")
+		p         = flag.Int("p", 4, "number of ranks")
+		dHigh     = flag.Int("dhigh", 0, "delegate degree threshold (0 = auto)")
+		seed      = flag.Uint64("seed", 1, "random seed")
+		dataset   = flag.String("dataset", "", "built-in dataset name instead of a file")
+		scale     = flag.Float64("scale", 1.0, "built-in dataset scale factor")
+		transport = flag.String("transport", "goroutine",
+			"rank backend: goroutine (in-process) or proc (one OS process per rank over TCP)")
+		connectTimeout = flag.Duration("connect-timeout", 30*time.Second,
+			"proc transport: budget for establishing the rank mesh")
 		outPath = flag.String("out", "", "write 'vertex community' lines to this file")
 		dotPath = flag.String("dot", "", "write the community quotient graph as GraphViz DOT")
 		top     = flag.Int("top", 0, "print a report of the top N communities")
 		quiet   = flag.Bool("q", false, "suppress the breakdown report")
 
-		tracePath   = flag.String("trace", "", "write a Chrome trace-event JSON timeline to this file")
+		tracePath   = flag.String("trace", "", "write a Chrome trace-event JSON timeline to this file (-transport=proc writes one per rank, suffixed .rank<r>)")
 		metricsPath = flag.String("metrics", "", "write the structured JSON run report to this file")
 		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile  = flag.String("memprofile", "", "write a heap profile to this file")
 		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof and the live /debug/dinfomap/ endpoints on this address (e.g. localhost:6060)")
 		version     = flag.Bool("version", false, "print build provenance and exit")
+
+		// Internal child-mode flags set by the -transport=proc launcher
+		// when it re-executes this binary as one rank; never set by hand.
+		mpiChild    = flag.Bool("mpi-child", false, "internal: run as one rank of a -transport=proc launch")
+		mpiRank     = flag.Int("mpi-rank", 0, "internal: this child's rank id")
+		mpiAddrs    = flag.String("mpi-addrs", "", "internal: comma-separated rank address table")
+		mpiNet      = flag.String("mpi-net", "tcp", "internal: mesh network (tcp or unix)")
+		mpiEpoch    = flag.Int64("mpi-epoch", 0, "internal: shared wall-clock epoch, unix nanoseconds")
+		mpiArtifact = flag.String("mpi-artifact", "", "internal: rank artifact output path")
 	)
 	flag.Parse()
 	if *version {
@@ -66,15 +80,50 @@ func main() {
 		return
 	}
 
+	launch := procLaunch{
+		p: *p, dHigh: *dHigh, seed: *seed,
+		dataset: *dataset, scale: *scale, graphPath: flag.Arg(0),
+		tracePath: *tracePath, connectTimeout: *connectTimeout,
+	}
+	if *mpiChild {
+		if err := runChildRank(childConfig{
+			rank:         *mpiRank,
+			addrs:        strings.Split(*mpiAddrs, ","),
+			network:      *mpiNet,
+			epochNano:    *mpiEpoch,
+			artifactPath: *mpiArtifact,
+			launch:       launch,
+		}); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	multiproc := false
+	switch *transport {
+	case "goroutine":
+	case "proc":
+		multiproc = true
+	default:
+		fatal(fmt.Errorf("unknown -transport %q (want goroutine or proc)", *transport))
+	}
+
 	// The journal feeds -trace, the live -pprof debug endpoints, and the
 	// wait-state sections of the -metrics report (the critical path needs
 	// span timings, so a report without a journal would ship without it).
+	// With -transport=proc the events happen in the child processes, so
+	// the parent keeps no journal: children write per-rank trace files,
+	// and the report's wait-state sections (which need all ranks' raw
+	// events in one process) are absent.
 	var journal *dinfomap.RunJournal
-	if *tracePath != "" || *pprofAddr != "" || *metricsPath != "" {
+	if !multiproc && (*tracePath != "" || *pprofAddr != "" || *metricsPath != "") {
 		journal = dinfomap.NewRunJournal(*p)
 	}
 	if *pprofAddr != "" {
-		dinfomap.RegisterRunDebugHandlers(http.DefaultServeMux, journal)
+		if journal != nil {
+			dinfomap.RegisterRunDebugHandlers(http.DefaultServeMux, journal)
+		} else {
+			fmt.Fprintln(os.Stderr, "dinfomap: -pprof with -transport=proc profiles the launcher only; the live run endpoints are unavailable")
+		}
 		go func() {
 			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
 				fmt.Fprintln(os.Stderr, "dinfomap: pprof listener:", err)
@@ -107,7 +156,16 @@ func main() {
 
 	cfg := dinfomap.DistributedConfig{P: *p, DHigh: *dHigh, Seed: *seed, Journal: journal}
 	start := time.Now()
-	res := dinfomap.RunDistributed(g, cfg)
+	var res *dinfomap.DistributedResult
+	if multiproc {
+		fmt.Printf("transport: proc (%d rank processes over TCP loopback)\n", *p)
+		res, err = launchProcRanks(launch)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		res = dinfomap.RunDistributed(g, cfg)
+	}
 	wall := time.Since(start)
 
 	fmt.Printf("modules:     %d\n", res.NumModules)
@@ -138,13 +196,18 @@ func main() {
 		}
 	}
 	if *tracePath != "" {
-		if err := writeFile(*tracePath, func(w io.Writer) error {
-			return dinfomap.WriteChromeTraceWith(w, cfg.Journal, res.WaitRecorder)
-		}); err != nil {
-			fatal(err)
+		if multiproc {
+			fmt.Printf("wrote %s.rank0 .. .rank%d (one timeline per rank process)\n",
+				*tracePath, *p-1)
+		} else {
+			if err := writeFile(*tracePath, func(w io.Writer) error {
+				return dinfomap.WriteChromeTraceWith(w, cfg.Journal, res.WaitRecorder)
+			}); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s (%d events; open in https://ui.perfetto.dev)\n",
+				*tracePath, cfg.Journal.NumEvents())
 		}
-		fmt.Printf("wrote %s (%d events; open in https://ui.perfetto.dev)\n",
-			*tracePath, cfg.Journal.NumEvents())
 	}
 	if *metricsPath != "" {
 		rep := dinfomap.BuildRunReport(g, cfg, res)

@@ -1,0 +1,235 @@
+// Multi-process launcher: -transport=proc runs each rank as its own OS
+// process over TCP loopback. The parent binds one listener per rank,
+// re-executes itself once per rank in child mode (hidden -mpi-* flags,
+// the rank's listener passed as fd 3), and assembles the children's
+// artifact files into the same DistributedResult the in-process run
+// produces — bit-identical for the same graph, config, and seed,
+// because every child regenerates the graph and partitioning
+// deterministically and runs the identical rank program.
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"dinfomap"
+)
+
+// procLaunch carries the parent's flag values that the children must
+// reproduce exactly: anything that shapes the graph or the algorithm.
+type procLaunch struct {
+	p, dHigh       int
+	seed           uint64
+	dataset        string
+	scale          float64
+	graphPath      string
+	tracePath      string
+	connectTimeout time.Duration
+}
+
+// childConfig is the child-mode half: mesh coordinates from the hidden
+// -mpi-* flags plus the replicated algorithm flags.
+type childConfig struct {
+	rank         int
+	addrs        []string
+	network      string
+	epochNano    int64
+	artifactPath string
+	launch       procLaunch
+}
+
+// launchProcRanks runs the algorithm with one OS process per rank and
+// returns the assembled result.
+func launchProcRanks(l procLaunch) (*dinfomap.DistributedResult, error) {
+	exe, err := os.Executable()
+	if err != nil {
+		return nil, fmt.Errorf("locating own binary: %w", err)
+	}
+	listeners, addrs, err := dinfomap.ListenRanks("tcp", l.p, "")
+	if err != nil {
+		return nil, err
+	}
+	defer closeListeners(listeners)
+
+	artDir, err := os.MkdirTemp("", "dinfomap-proc")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(artDir)
+
+	// One wall-clock epoch shared by the mesh: sentAt stamps and trace
+	// times from different processes stay comparable.
+	epoch := time.Now()
+	cmds := make([]*exec.Cmd, l.p)
+	artPaths := make([]string, l.p)
+	for r := 0; r < l.p; r++ {
+		artPaths[r] = filepath.Join(artDir, fmt.Sprintf("rank%d.json", r))
+		args := []string{
+			"-mpi-child",
+			"-mpi-rank", strconv.Itoa(r),
+			"-mpi-addrs", strings.Join(addrs, ","),
+			"-mpi-net", "tcp",
+			"-mpi-epoch", strconv.FormatInt(epoch.UnixNano(), 10),
+			"-mpi-artifact", artPaths[r],
+			"-p", strconv.Itoa(l.p),
+			"-dhigh", strconv.Itoa(l.dHigh),
+			"-seed", strconv.FormatUint(l.seed, 10),
+			"-connect-timeout", l.connectTimeout.String(),
+		}
+		if l.dataset != "" {
+			args = append(args, "-dataset", l.dataset,
+				"-scale", strconv.FormatFloat(l.scale, 'g', -1, 64))
+		}
+		if l.tracePath != "" {
+			args = append(args, "-trace", l.tracePath)
+		}
+		if l.graphPath != "" {
+			args = append(args, l.graphPath)
+		}
+
+		f, err := listenerFile(listeners[r])
+		if err != nil {
+			killStarted(cmds)
+			return nil, err
+		}
+		cmd := exec.Command(exe, args...)
+		cmd.Stdout = os.Stderr // children print diagnostics only
+		cmd.Stderr = os.Stderr
+		cmd.ExtraFiles = []*os.File{f} // becomes fd 3 in the child
+		err = cmd.Start()
+		//dinfomap:close-ok parent's dup of the listener fd; the child holds its own
+		f.Close()
+		if err != nil {
+			killStarted(cmds)
+			return nil, fmt.Errorf("spawning rank %d: %w", r, err)
+		}
+		cmds[r] = cmd
+	}
+	// The children hold dup'd listener fds; the parent's copies can go
+	// before the mesh even connects.
+	closeListeners(listeners)
+
+	var errs []error
+	for r, cmd := range cmds {
+		if err := cmd.Wait(); err != nil {
+			errs = append(errs, fmt.Errorf("rank %d process: %w", r, err))
+		}
+	}
+	if len(errs) > 0 {
+		return nil, errors.Join(errs...)
+	}
+
+	arts := make([]*dinfomap.RankArtifact, l.p)
+	for r, path := range artPaths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("rank %d artifact: %w", r, err)
+		}
+		a := &dinfomap.RankArtifact{}
+		if err := json.Unmarshal(data, a); err != nil {
+			return nil, fmt.Errorf("rank %d artifact: %w", r, err)
+		}
+		arts[r] = a
+	}
+	cfg := dinfomap.DistributedConfig{P: l.p, DHigh: l.dHigh, Seed: l.seed}
+	return dinfomap.AssembleDistributed(cfg, arts)
+}
+
+// runChildRank is the child-mode entry point: dial the mesh, run this
+// rank, write the artifact file (and, when tracing, this rank's
+// timeline). Any error — including a poisoned world — exits non-zero
+// through the caller, which is how rank failure reaches the parent.
+func runChildRank(cc childConfig) error {
+	lf := os.NewFile(3, "mpi-listener")
+	if lf == nil {
+		return fmt.Errorf("rank %d: missing inherited listener (fd 3)", cc.rank)
+	}
+	ln, err := net.FileListener(lf)
+	//dinfomap:close-ok FileListener dups the fd; the original can go either way
+	lf.Close()
+	if err != nil {
+		return fmt.Errorf("rank %d: inherited listener: %w", cc.rank, err)
+	}
+
+	l := cc.launch
+	g, err := loadGraph(l.dataset, l.scale, l.graphPath)
+	if err != nil {
+		return fmt.Errorf("rank %d: %w", cc.rank, err)
+	}
+
+	var journal *dinfomap.RunJournal
+	if l.tracePath != "" {
+		journal = dinfomap.NewRunJournal(l.p)
+	}
+
+	tr, err := dinfomap.DialProcTransport(dinfomap.ProcTransportConfig{
+		Rank: cc.rank, Size: l.p,
+		Listener: ln, Addrs: cc.addrs, Network: cc.network,
+		Epoch:   time.Unix(0, cc.epochNano),
+		Version: dinfomap.ReadBuildProvenance().String(),
+	}, dinfomap.WithConnectTimeout(l.connectTimeout))
+	if err != nil {
+		return fmt.Errorf("rank %d: %w", cc.rank, err)
+	}
+
+	cfg := dinfomap.DistributedConfig{P: l.p, DHigh: l.dHigh, Seed: l.seed, Journal: journal}
+	art, err := dinfomap.RunDistributedRank(g, cfg, tr)
+	journal.Finish()
+	if err != nil {
+		return fmt.Errorf("rank %d: %w", cc.rank, err)
+	}
+
+	if err := writeFile(cc.artifactPath, func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		return enc.Encode(art)
+	}); err != nil {
+		return fmt.Errorf("rank %d: %w", cc.rank, err)
+	}
+	if journal != nil {
+		path := fmt.Sprintf("%s.rank%d", l.tracePath, cc.rank)
+		if err := writeFile(path, func(w io.Writer) error {
+			return dinfomap.WriteChromeTrace(w, journal)
+		}); err != nil {
+			return fmt.Errorf("rank %d: %w", cc.rank, err)
+		}
+	}
+	return nil
+}
+
+// listenerFile dups the listener's fd for inheritance by a child.
+func listenerFile(ln net.Listener) (*os.File, error) {
+	tl, ok := ln.(*net.TCPListener)
+	if !ok {
+		return nil, fmt.Errorf("listener %T cannot be passed to a child process", ln)
+	}
+	return tl.File()
+}
+
+func closeListeners(lns []net.Listener) {
+	for _, ln := range lns {
+		if ln != nil {
+			//dinfomap:close-ok idempotent shutdown of loopback listeners; double close is harmless
+			ln.Close()
+		}
+	}
+}
+
+// killStarted tears down already-started children after a spawn error.
+func killStarted(cmds []*exec.Cmd) {
+	for _, cmd := range cmds {
+		if cmd == nil || cmd.Process == nil {
+			continue
+		}
+		cmd.Process.Kill()
+		cmd.Wait()
+	}
+}

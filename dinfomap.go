@@ -19,7 +19,9 @@ package dinfomap
 
 import (
 	"io"
+	"net"
 	"net/http"
+	"time"
 
 	"dinfomap/internal/core"
 	"dinfomap/internal/gen"
@@ -126,6 +128,64 @@ type DistributedResult = core.Result
 // RunDistributed executes the distributed Infomap algorithm on g.
 func RunDistributed(g *Graph, cfg DistributedConfig) *DistributedResult {
 	return core.Run(g, cfg)
+}
+
+// ---- Multi-process transport ----
+
+// Transport is the message-passing backend a distributed rank runs
+// over: the in-process goroutine transport (what RunDistributed uses)
+// or the socket-based proc transport connecting one OS process per
+// rank. See internal/mpi for the contract.
+type Transport = mpi.Transport
+
+// ProcTransportConfig describes one rank's endpoint of a multi-process
+// world: its listener, the full address table, and the shared epoch.
+type ProcTransportConfig = mpi.ProcConfig
+
+// DialProcTransport establishes the full peer mesh for one rank of a
+// multi-process world and returns its transport. It blocks until every
+// peer connection is established and handshaken (rank identity, world
+// size, build version) or the connect timeout expires.
+func DialProcTransport(cfg ProcTransportConfig, opts ...RunOption) (*mpi.ProcTransport, error) {
+	return mpi.DialProc(cfg, opts...)
+}
+
+// ListenRanks binds one listener per rank ("tcp" on loopback, or "unix"
+// with sockets under dir) and returns the listeners with their address
+// table, for distribution to the rank processes.
+func ListenRanks(network string, size int, dir string) ([]net.Listener, []string, error) {
+	return mpi.ListenRanks(network, size, dir)
+}
+
+// RunOption adjusts a distributed world's runtime behavior.
+type RunOption = mpi.RunOpt
+
+// WithRankTimeout bounds how long a rank may sit blocked in one receive
+// or synchronization point before the run is declared deadlocked.
+func WithRankTimeout(d time.Duration) RunOption { return mpi.WithTimeout(d) }
+
+// WithConnectTimeout bounds the connect/handshake phase of
+// DialProcTransport; it never overlaps the rank timeout, which starts
+// only once the mesh is up.
+func WithConnectTimeout(d time.Duration) RunOption { return mpi.WithConnectTimeout(d) }
+
+// RankArtifact is one rank's serializable contribution to a
+// distributed result; see RunDistributedRank and AssembleDistributed.
+type RankArtifact = core.RankArtifact
+
+// RunDistributedRank executes one rank of the distributed algorithm
+// over an explicit transport and returns its artifact. All ranks of the
+// world run the same call with the same graph and config; rank 0's
+// artifact carries the rank-identical outputs.
+func RunDistributedRank(g *Graph, cfg DistributedConfig, t Transport) (*RankArtifact, error) {
+	return core.RunRank(g, cfg, t)
+}
+
+// AssembleDistributed combines one artifact per rank into the full
+// result — the multi-process counterpart of RunDistributed's return
+// value, bit-identical to it for the same graph, config, and seed.
+func AssembleDistributed(cfg DistributedConfig, artifacts []*RankArtifact) (*DistributedResult, error) {
+	return core.Assemble(cfg, artifacts)
 }
 
 // LouvainConfig controls the Louvain baseline.

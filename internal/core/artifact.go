@@ -1,0 +1,234 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"dinfomap/internal/graph"
+	"dinfomap/internal/mpi"
+	"dinfomap/internal/obs"
+	"dinfomap/internal/partition"
+	"dinfomap/internal/trace"
+)
+
+// RankArtifact is everything one rank contributes to a Result. The
+// in-process Run produces one per simulated rank directly from its
+// shared runState; the multi-process driver has each child process
+// serialize its artifact as JSON and the parent Assemble them. Every
+// field is plain data — no live handles — so an artifact round-trips
+// through encoding/json unchanged.
+type RankArtifact struct {
+	Rank  int       `json:"rank"`
+	Stats mpi.Stats `json:"stats"`
+
+	// Phase / Stage2 / Stage2Phase are the rank's measured costs
+	// (stage-1 per phase, stage-2 total, stage-2 per phase).
+	Phase       map[string]trace.RankCost `json:"phase,omitempty"`
+	Stage2      trace.RankCost            `json:"stage2"`
+	Stage2Phase map[string]trace.RankCost `json:"stage2_phase,omitempty"`
+
+	Wall1Ns int64 `json:"wall1_ns"`
+	Wall2Ns int64 `json:"wall2_ns"`
+	Evals   int64 `json:"evals"`
+
+	Iterations []obs.IterationReport `json:"iterations,omitempty"`
+
+	// Partition is the delegate-layout balance summary. Every rank
+	// computes the identical layout during preprocessing, so every
+	// artifact carries the same value; shipping it here spares Assemble
+	// from re-running the partitioner.
+	Partition partition.BalanceStats `json:"partition"`
+
+	// Output holds the rank-identical algorithm outputs; only rank 0's
+	// artifact carries it (mirroring runState.out).
+	Output *RankOutput `json:"output,omitempty"`
+}
+
+// RankOutput is the algorithm's result proper: identical on every rank
+// by construction, published once via rank 0's artifact.
+type RankOutput struct {
+	Communities       []int     `json:"communities"`
+	MDLTrace          []float64 `json:"mdl_trace"`
+	MergeRate         []float64 `json:"merge_rate"`
+	InitialCodelength float64   `json:"initial_codelength"`
+	Stage1Iterations  int       `json:"stage1_iterations"`
+	Stage2Iterations  int       `json:"stage2_iterations"`
+}
+
+// RunRank executes one rank of the distributed algorithm over an
+// explicit transport and returns this rank's artifact. Preprocessing
+// (delegate partitioning, flow initialization) is recomputed locally —
+// it is deterministic in (g, cfg), so all ranks derive the identical
+// layout without communicating, exactly as Run's simulated ranks share
+// one. cfg.P must equal t.Size().
+//
+// The algorithm body is the same rankMain that Run executes, so a
+// partition assembled from RunRank artifacts is bit-identical to the
+// in-process result for the same graph, config, and seed.
+//
+// Unlike Run, RunRank cannot serve the degenerate empty graph (there is
+// no rank program to run); callers handle that case locally the way Run
+// does. Journaling (cfg.Journal) works per process, but the cross-rank
+// WaitRecorder does not exist here — raw wait events stay local to each
+// process, while the wait-state counters in Stats work as always.
+func RunRank(g *graph.Graph, cfg Config, t mpi.Transport) (*RankArtifact, error) {
+	cfg = cfg.withDefaults()
+	if t.Size() != cfg.P {
+		return nil, fmt.Errorf("core: RunRank config has P=%d but transport world has %d ranks", cfg.P, t.Size())
+	}
+	//dinfomap:float-ok exact emptiness guard: weight is a sum of strictly positive addends
+	if g.NumVertices() == 0 || g.TotalWeight() == 0 {
+		return nil, fmt.Errorf("core: RunRank needs a non-empty graph")
+	}
+	runner := newRunState(g, &cfg)
+	stats, err := mpi.RunRank(t, nil, runner.rankMain)
+	if err != nil {
+		return nil, err
+	}
+	return runner.artifact(t.Rank(), stats), nil
+}
+
+// Assemble combines one artifact per rank into the full Result. It is
+// the single assembly path: Run feeds it the artifacts of its simulated
+// ranks, and the multi-process driver feeds it the decoded artifacts of
+// its child processes. artifacts[r] must be rank r's.
+func Assemble(cfg Config, artifacts []*RankArtifact) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if len(artifacts) != cfg.P {
+		return nil, fmt.Errorf("core: Assemble got %d artifacts for a %d-rank config", len(artifacts), cfg.P)
+	}
+	for r, a := range artifacts {
+		if a == nil {
+			return nil, fmt.Errorf("core: Assemble missing the artifact of rank %d", r)
+		}
+		if a.Rank != r {
+			return nil, fmt.Errorf("core: artifact at position %d reports rank %d", r, a.Rank)
+		}
+	}
+	o := artifacts[0].Output
+	if o == nil {
+		return nil, fmt.Errorf("core: rank 0 artifact carries no output section")
+	}
+
+	res := &Result{}
+	dense, k := graph.Renumber(o.Communities)
+	res.Communities = dense
+	res.NumModules = k
+	res.MDLTrace = o.MDLTrace
+	res.MergeRate = o.MergeRate
+	res.InitialCodelength = o.InitialCodelength
+	if len(o.MDLTrace) > 0 {
+		res.Codelength = o.MDLTrace[len(o.MDLTrace)-1]
+	}
+	res.OuterIterations = len(o.MDLTrace)
+	res.Stage1Iterations = o.Stage1Iterations
+	res.Stage2Iterations = o.Stage2Iterations
+	res.Partition = artifacts[0].Partition
+
+	// Publish the raw per-rank measurements (telemetry consumers build
+	// the JSON run report from these).
+	res.PerRankPhase = make([]map[string]trace.RankCost, cfg.P)
+	res.PerRankStage2 = make([]trace.RankCost, cfg.P)
+	res.PerRankStage2Phase = make([]map[string]trace.RankCost, cfg.P)
+	res.PerRankWall1 = make([]time.Duration, cfg.P)
+	res.PerRankWall2 = make([]time.Duration, cfg.P)
+	res.PerRankEvals = make([]int64, cfg.P)
+	res.PerRankIterations = make([][]obs.IterationReport, cfg.P)
+	res.CommStats = make([]mpi.Stats, cfg.P)
+	for r, a := range artifacts {
+		res.PerRankPhase[r] = a.Phase
+		res.PerRankStage2[r] = a.Stage2
+		res.PerRankStage2Phase[r] = a.Stage2Phase
+		res.PerRankWall1[r] = time.Duration(a.Wall1Ns)
+		res.PerRankWall2[r] = time.Duration(a.Wall2Ns)
+		res.PerRankEvals[r] = a.Evals
+		res.PerRankIterations[r] = a.Iterations
+		res.CommStats[r] = a.Stats
+		if b := a.Stats.TotalBytes(); b > res.MaxRankBytes {
+			res.MaxRankBytes = b
+		}
+		// Wall times: the slowest rank gates each stage.
+		if res.PerRankWall1[r] > res.Stage1Wall {
+			res.Stage1Wall = res.PerRankWall1[r]
+		}
+		if res.PerRankWall2[r] > res.Stage2Wall {
+			res.Stage2Wall = res.PerRankWall2[r]
+		}
+		res.DeltaEvaluations += a.Evals
+	}
+
+	// Modeled times: per phase, take the slowest rank's accumulated
+	// cost (the bulk-synchronous steps are gated by the slowest rank;
+	// aggregating at stage granularity is accurate because delegate
+	// partitioning keeps ranks balanced within each iteration).
+	model := cfg.CostModel
+	res.PhaseModeled = make(map[string]time.Duration)
+	res.PhaseOps = make(map[string]int64)
+	phases := []string{
+		trace.PhaseFindBestModule, trace.PhaseBcastDelegates,
+		trace.PhaseSwapBoundary, trace.PhaseRefreshRound1,
+		trace.PhaseRefreshRound2, trace.PhaseOther,
+	}
+	for _, ph := range phases {
+		var worst time.Duration
+		var worstOps int64
+		for _, a := range artifacts {
+			c := a.Phase[ph]
+			if t := model.Time(c); t > worst {
+				worst = t
+			}
+			if c.Ops > worstOps {
+				worstOps = c.Ops
+			}
+		}
+		res.PhaseModeled[ph] = worst
+		res.PhaseOps[ph] = worstOps
+		res.Stage1Modeled += worst
+	}
+	var worst2 time.Duration
+	for _, a := range artifacts {
+		if t := model.Time(a.Stage2); t > worst2 {
+			worst2 = t
+		}
+	}
+	res.Stage2Modeled = worst2
+	return res, nil
+}
+
+// fillArtifact packages rank r's slots of this runState into a.
+// partStats is computed once in newRunState; rank 0's identical outputs
+// ride along. Filling in place lets Run lay out its P artifacts in one
+// backing array instead of one allocation each.
+func (rs *runState) fillArtifact(a *RankArtifact, rank int, stats mpi.Stats) {
+	*a = RankArtifact{
+		Rank:        rank,
+		Stats:       stats,
+		Phase:       rs.perRankPhase[rank],
+		Stage2:      rs.perRankStage2[rank],
+		Stage2Phase: rs.perRankStage2Phase[rank],
+		Wall1Ns:     rs.perRankWall1[rank].Nanoseconds(),
+		Wall2Ns:     rs.perRankWall2[rank].Nanoseconds(),
+		Evals:       rs.perRankEvals[rank],
+		Iterations:  rs.perRankIters[rank],
+		Partition:   rs.partStats,
+	}
+	if rank == 0 {
+		o := &rs.out
+		a.Output = &RankOutput{
+			Communities:       o.communities,
+			MDLTrace:          o.mdlTrace,
+			MergeRate:         o.mergeRate,
+			InitialCodelength: o.initialL,
+			Stage1Iterations:  o.stage1Iters,
+			Stage2Iterations:  o.stage2Iters,
+		}
+	}
+}
+
+// artifact is fillArtifact's allocating form, used by RunRank where a
+// process produces exactly one artifact.
+func (rs *runState) artifact(rank int, stats mpi.Stats) *RankArtifact {
+	a := &RankArtifact{}
+	rs.fillArtifact(a, rank, stats)
+	return a
+}

@@ -150,42 +150,76 @@ func (r *Result) TotalModeled() time.Duration { return r.Stage1Modeled + r.Stage
 func Run(g *graph.Graph, cfg Config) *Result {
 	cfg = cfg.withDefaults()
 	n := g.NumVertices()
-	res := &Result{Communities: make([]int, n)}
-	for u := range res.Communities {
-		res.Communities[u] = u
-	}
 	//dinfomap:float-ok exact emptiness guard: weight is a sum of strictly positive addends
 	if n == 0 || g.TotalWeight() == 0 {
-		res.NumModules = n
+		res := &Result{Communities: make([]int, n), NumModules: n}
+		for u := range res.Communities {
+			res.Communities[u] = u
+		}
 		return res
 	}
 
-	// ---- Preprocessing (Algorithm 2, line 1) ----
-	// Delegate partitioning plus flow initialization. The flow arrays are
-	// the product of the distributed degree computation described in
-	// Section 3.3; ranks only ever read entries of vertices they see.
-	//
-	// Threshold default: the paper uses d_high = p, which on Titan
-	// (p in the thousands) delegates only the extreme tail. At this
-	// reproduction's processor counts (2-64) a literal d_high = p would
-	// delegate most vertices — delegates get only one coordinated move
-	// per synchronized round, so quality and convergence collapse. The
-	// default therefore keeps delegates in the tail: at least p, and at
-	// least several times the average degree (see DESIGN.md).
+	runner := newRunState(g, &cfg)
+
+	// Journaled runs also record raw wait-state events (anchored to the
+	// journal epoch so they compare with span times) for the wait-state
+	// and critical-path report sections.
+	var runOpts []mpi.RunOpt
+	var rec *mpi.Recorder
+	if cfg.Journal != nil {
+		rec = mpi.NewRecorder(cfg.P, cfg.Journal.Epoch())
+		runOpts = append(runOpts, mpi.WithRecorder(rec))
+	}
+	stats := mpi.Run(cfg.P, runner.rankMain, runOpts...)
+	// End the live stream: subscribers drain their rings and receive
+	// the final status snapshot.
+	cfg.Journal.Finish()
+
+	// Package each simulated rank's slots as an artifact and assemble —
+	// the same path the multi-process driver takes with one artifact per
+	// child process.
+	backing := make([]RankArtifact, cfg.P)
+	arts := make([]*RankArtifact, cfg.P)
+	for r := range arts {
+		runner.fillArtifact(&backing[r], r, stats[r])
+		arts[r] = &backing[r]
+	}
+	res, err := Assemble(cfg, arts)
+	if err != nil {
+		panicf("assembling in-process run: %v", err)
+	}
+	res.WaitRecorder = rec
+	return res
+}
+
+// newRunState runs preprocessing (Algorithm 2, line 1) and sizes the
+// per-rank slots. Delegate partitioning and flow initialization are
+// deterministic in (g, cfg), which is what lets every process of a
+// multi-process run recompute the identical layout without
+// communicating. The flow arrays are the product of the distributed
+// degree computation described in Section 3.3; ranks only ever read
+// entries of vertices they see.
+//
+// Threshold default: the paper uses d_high = p, which on Titan
+// (p in the thousands) delegates only the extreme tail. At this
+// reproduction's processor counts (2-64) a literal d_high = p would
+// delegate most vertices — delegates get only one coordinated move
+// per synchronized round, so quality and convergence collapse. The
+// default therefore keeps delegates in the tail: at least p, and at
+// least several times the average degree (see DESIGN.md).
+func newRunState(g *graph.Graph, cfg *Config) *runState {
 	dHigh := cfg.DHigh
 	if dHigh <= 0 {
-		avgDeg := 2 * g.NumEdges() / maxInt(1, n)
+		avgDeg := 2 * g.NumEdges() / maxInt(1, g.NumVertices())
 		dHigh = maxInt(cfg.P, 4*avgDeg)
 	}
 	layout := partition.Delegate(g, cfg.P, partition.DelegateOptions{
 		DHigh:       dHigh,
 		NoRebalance: cfg.NoRebalance,
 	})
-	res.Partition = layout.Stats()
-	flow := mapeq.NewVertexFlow(g)
-
-	runner := &runState{
-		g: g, cfg: &cfg, layout: layout, flow: flow, res: res,
+	return &runState{
+		g: g, cfg: cfg, layout: layout, flow: mapeq.NewVertexFlow(g),
+		partStats:          layout.Stats(),
 		perRankPhase:       make([]phaseCosts, cfg.P),
 		perRankStage2:      make([]trace.RankCost, cfg.P),
 		perRankStage2Phase: make([]phaseCosts, cfg.P),
@@ -194,39 +228,22 @@ func Run(g *graph.Graph, cfg Config) *Result {
 		perRankEvals:       make([]int64, cfg.P),
 		perRankIters:       make([][]obs.IterationReport, cfg.P),
 	}
-	// Journaled runs also record raw wait-state events (anchored to the
-	// journal epoch so they compare with span times) for the wait-state
-	// and critical-path report sections.
-	var runOpts []mpi.RunOpt
-	if cfg.Journal != nil {
-		res.WaitRecorder = mpi.NewRecorder(cfg.P, cfg.Journal.Epoch())
-		runOpts = append(runOpts, mpi.WithRecorder(res.WaitRecorder))
-	}
-	stats := mpi.Run(cfg.P, runner.rankMain, runOpts...)
-	// End the live stream: subscribers drain their rings and receive
-	// the final status snapshot.
-	cfg.Journal.Finish()
-	res.CommStats = stats
-	for _, s := range stats {
-		if b := s.TotalBytes(); b > res.MaxRankBytes {
-			res.MaxRankBytes = b
-		}
-	}
-
-	// Collect the per-rank outputs assembled by rankMain.
-	runner.finish(res)
-	return res
 }
 
-// runState carries inputs and cross-rank outputs of one Run. The output
-// fields are written by rank 0 only (all ranks hold identical copies at
-// the end, a property the tests assert).
+// runState carries inputs and cross-rank outputs of one run. In-process
+// runs share one across all simulated ranks; a multi-process rank has
+// its own and only ever fills its slot. The output fields are written by
+// rank 0 only (all ranks hold identical copies at the end, a property
+// the tests assert).
 type runState struct {
 	g      *graph.Graph
 	cfg    *Config
 	layout *partition.Layout
 	flow   *mapeq.VertexFlow
-	res    *Result
+
+	// partStats is the layout's balance summary, computed once and
+	// stamped into every artifact.
+	partStats partition.BalanceStats
 
 	// Per-rank measurement slots; each rank writes only its own index.
 	perRankPhase       []phaseCosts
@@ -248,86 +265,6 @@ type rankOutput struct {
 	mergeRate                []float64
 	initialL                 float64
 	stage1Iters, stage2Iters int
-}
-
-func (rs *runState) finish(res *Result) {
-	o := &rs.out
-	res.Communities = o.communities
-	dense, k := graph.Renumber(res.Communities)
-	res.Communities = dense
-	res.NumModules = k
-	res.MDLTrace = o.mdlTrace
-	res.MergeRate = o.mergeRate
-	res.InitialCodelength = o.initialL
-	if len(o.mdlTrace) > 0 {
-		res.Codelength = o.mdlTrace[len(o.mdlTrace)-1]
-	}
-	res.OuterIterations = len(o.mdlTrace)
-	res.Stage1Iterations = o.stage1Iters
-	res.Stage2Iterations = o.stage2Iters
-
-	// Publish the raw per-rank measurements (telemetry consumers build
-	// the JSON run report from these).
-	res.PerRankPhase = make([]map[string]trace.RankCost, rs.cfg.P)
-	for r := range rs.perRankPhase {
-		res.PerRankPhase[r] = rs.perRankPhase[r]
-	}
-	res.PerRankStage2 = rs.perRankStage2
-	res.PerRankStage2Phase = make([]map[string]trace.RankCost, rs.cfg.P)
-	for r := range rs.perRankStage2Phase {
-		res.PerRankStage2Phase[r] = rs.perRankStage2Phase[r]
-	}
-	res.PerRankWall1 = rs.perRankWall1
-	res.PerRankWall2 = rs.perRankWall2
-	res.PerRankEvals = rs.perRankEvals
-	res.PerRankIterations = rs.perRankIters
-
-	// Wall times: the slowest rank gates each stage.
-	for r := 0; r < rs.cfg.P; r++ {
-		if rs.perRankWall1[r] > res.Stage1Wall {
-			res.Stage1Wall = rs.perRankWall1[r]
-		}
-		if rs.perRankWall2[r] > res.Stage2Wall {
-			res.Stage2Wall = rs.perRankWall2[r]
-		}
-		res.DeltaEvaluations += rs.perRankEvals[r]
-	}
-
-	// Modeled times: per phase, take the slowest rank's accumulated
-	// cost (the bulk-synchronous steps are gated by the slowest rank;
-	// aggregating at stage granularity is accurate because delegate
-	// partitioning keeps ranks balanced within each iteration).
-	model := rs.cfg.CostModel
-	res.PhaseModeled = make(map[string]time.Duration)
-	res.PhaseOps = make(map[string]int64)
-	phases := []string{
-		trace.PhaseFindBestModule, trace.PhaseBcastDelegates,
-		trace.PhaseSwapBoundary, trace.PhaseRefreshRound1,
-		trace.PhaseRefreshRound2, trace.PhaseOther,
-	}
-	for _, ph := range phases {
-		var worst time.Duration
-		var worstOps int64
-		for r := 0; r < rs.cfg.P; r++ {
-			c := rs.perRankPhase[r][ph]
-			if t := model.Time(c); t > worst {
-				worst = t
-			}
-			if c.Ops > worstOps {
-				worstOps = c.Ops
-			}
-		}
-		res.PhaseModeled[ph] = worst
-		res.PhaseOps[ph] = worstOps
-		res.Stage1Modeled += worst
-	}
-	var worst2 time.Duration
-	for r := 0; r < rs.cfg.P; r++ {
-		if t := model.Time(rs.perRankStage2[r]); t > worst2 {
-			worst2 = t
-		}
-	}
-	res.Stage2Modeled = worst2
 }
 
 func ownerOf(v, p int) int { return v % p }

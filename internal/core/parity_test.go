@@ -1,0 +1,127 @@
+package core
+
+import (
+	"encoding/json"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"dinfomap/internal/graph"
+	"dinfomap/internal/mpi"
+)
+
+// runRanksOverProc runs the full algorithm over the proc backend, one
+// RunRank per rank goroutine connected through real unix sockets, and
+// assembles the result — the same path the multi-process driver takes,
+// minus the OS process boundary. Artifacts are round-tripped through
+// JSON to pin their serializability (the process boundary is a JSON
+// file).
+func runRanksOverProc(t *testing.T, g *graph.Graph, cfg Config) *Result {
+	t.Helper()
+	dir, err := os.MkdirTemp("", "mpi")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { os.RemoveAll(dir) })
+	listeners, addrs, err := mpi.ListenRanks("unix", cfg.P, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	epoch := time.Now()
+	arts := make([]*RankArtifact, cfg.P)
+	errs := make([]error, cfg.P)
+	var wg sync.WaitGroup
+	for r := 0; r < cfg.P; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			tr, err := mpi.DialProc(mpi.ProcConfig{
+				Rank: rank, Size: cfg.P,
+				Listener: listeners[rank], Addrs: addrs, Network: "unix",
+				Epoch: epoch,
+			})
+			if err != nil {
+				errs[rank] = err
+				return
+			}
+			arts[rank], errs[rank] = RunRank(g, cfg, tr)
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+	for r, a := range arts {
+		b, err := json.Marshal(a)
+		if err != nil {
+			t.Fatalf("rank %d artifact does not serialize: %v", r, err)
+		}
+		rt := &RankArtifact{}
+		if err := json.Unmarshal(b, rt); err != nil {
+			t.Fatalf("rank %d artifact does not round-trip: %v", r, err)
+		}
+		arts[r] = rt
+	}
+	res, err := Assemble(cfg, arts)
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	return res
+}
+
+// TestTransportParity is the cross-backend determinism contract: the
+// same graph, config, and seed must produce bit-identical partitions,
+// codelengths, and deterministic counters whether the ranks are
+// goroutines sharing memory slots or peers exchanging frames over
+// sockets. This is what lets CI diff a multi-process run report against
+// the in-process golden.
+func TestTransportParity(t *testing.T) {
+	g, _ := planted(7, 600, 12, 0.2)
+	cfg := Config{P: 4, Seed: 42}
+
+	inproc := Run(g, cfg)
+	multi := runRanksOverProc(t, g, cfg)
+
+	if inproc.Codelength != multi.Codelength {
+		t.Errorf("codelength differs: goroutine %v vs proc %v",
+			inproc.Codelength, multi.Codelength)
+	}
+	if inproc.InitialCodelength != multi.InitialCodelength {
+		t.Errorf("initial codelength differs: %v vs %v",
+			inproc.InitialCodelength, multi.InitialCodelength)
+	}
+	if inproc.NumModules != multi.NumModules {
+		t.Errorf("module count differs: %d vs %d", inproc.NumModules, multi.NumModules)
+	}
+	for u := range inproc.Communities {
+		if inproc.Communities[u] != multi.Communities[u] {
+			t.Fatalf("community of vertex %d differs: %d vs %d",
+				u, inproc.Communities[u], multi.Communities[u])
+		}
+	}
+	if len(inproc.MDLTrace) != len(multi.MDLTrace) {
+		t.Fatalf("MDL trace length differs: %d vs %d",
+			len(inproc.MDLTrace), len(multi.MDLTrace))
+	}
+	for k := range inproc.MDLTrace {
+		if inproc.MDLTrace[k] != multi.MDLTrace[k] {
+			t.Errorf("MDL trace[%d] differs: %v vs %v",
+				k, inproc.MDLTrace[k], multi.MDLTrace[k])
+		}
+	}
+	// Deterministic communication counters must agree rank for rank:
+	// traffic is counted above the transport, and each collective is
+	// billed as exactly two synchronization points on every backend.
+	for r := range inproc.CommStats {
+		a, b := inproc.CommStats[r], multi.CommStats[r]
+		if a.BytesSent != b.BytesSent || a.MsgsSent != b.MsgsSent ||
+			a.Collectives != b.Collectives || a.BarrierSyncs != b.BarrierSyncs {
+			t.Errorf("rank %d deterministic comm counters differ:\n  goroutine: bytes=%d msgs=%d coll=%d syncs=%d\n  proc:      bytes=%d msgs=%d coll=%d syncs=%d",
+				r, a.BytesSent, a.MsgsSent, a.Collectives, a.BarrierSyncs,
+				b.BytesSent, b.MsgsSent, b.Collectives, b.BarrierSyncs)
+		}
+	}
+}

@@ -278,7 +278,8 @@ func (lv *level) initLocalState() {
 		oSubs:    make([][]int32, slots),
 		newOwned: make([]int32, 0, slots),
 	}
-	lv.sendBufs = mpi.NewSendBuffers(lv.p)
+	// Comm-registered so a world failure invalidates in-flight rounds.
+	lv.sendBufs = lv.c.NewSendBuffers()
 	lv.enc = mpi.NewEncoder(256)
 
 	// Ghosts: visible, not owned, not a hub. visList is sorted, so the

@@ -16,15 +16,17 @@ const (
 	OpMax
 )
 
-// The slot-exchange pattern used by every collective below:
+// The two-phase window pattern used by every collective below:
 //
-//	publish local contribution at slots[rank]
-//	Barrier                      (everyone published)
-//	read all slots, combine
-//	Barrier                      (everyone done reading; slots reusable)
+//	Publish local contribution    (blocks until everyone published)
+//	read the returned views, combine into pooled storage
+//	ReleaseSlots                  (views dead; transport storage reusable)
 //
-// The two barriers make each collective a full synchronization point,
-// mirroring MPI's blocking collectives.
+// On the goroutine backend both phases are barriers over shared slots,
+// mirroring MPI's blocking collectives; the proc backend exchanges
+// sequence-tagged messages instead and releases for free. Either way
+// each collective is billed as exactly two synchronization points, so
+// BarrierSyncs counts match bit-for-bit across backends.
 //
 // Receive-side storage is pooled per Comm: the slices returned by
 // AllgatherBytes, Alltoallv, and AllreduceSumF64s are valid only until
@@ -47,15 +49,15 @@ func (c *Comm) BcastBytes(root int, data []byte) []byte {
 	if root < 0 || root >= c.size {
 		panic(fmt.Sprintf("mpi: Bcast with invalid root %d", root))
 	}
-	if c.rank == root {
-		c.w.slots[root] = data
-	}
 	c.collectiveCost(len(data))
-	c.sync()
-	src := c.w.slots[root]
+	arrive := c.t.Now()
+	src := c.t.BcastSlot(root, data)
+	c.noteSync(arrive)
 	cp := make([]byte, len(src))
 	copy(cp, src)
-	c.sync()
+	arrive = c.t.Now()
+	c.t.ReleaseSlots()
+	c.noteSync(arrive)
 	return cp
 }
 
@@ -164,27 +166,23 @@ func (c *Comm) Alltoallv(bufs [][]byte) [][]byte {
 			}
 		}
 	}
-	c.w.a2a[c.rank] = bufs
-	c.sync()
+	arrive := c.t.Now()
+	in := c.t.ScatterSlots(bufs)
+	c.noteSync(arrive)
 	if c.pool.a2aOut == nil {
 		c.pool.a2aOut = make([][]byte, c.size)
 	}
 	out := c.pool.a2aOut
 	total := 0
 	for src := 0; src < c.size; src++ {
-		if c.w.a2a[src] != nil {
-			total += len(c.w.a2a[src][c.rank])
-		}
+		total += len(in[src])
 	}
 	c.pool.a2aSlab = grow(c.pool.a2aSlab, total)
 	slab := c.pool.a2aSlab
 	off := 0
 	recvd, recvMsgs := 0, int64(0)
 	for src := 0; src < c.size; src++ {
-		var b []byte
-		if c.w.a2a[src] != nil {
-			b = c.w.a2a[src][c.rank]
-		}
+		b := in[src]
 		n := copy(slab[off:off+len(b)], b)
 		out[src] = slab[off : off+n : off+n]
 		off += n
@@ -196,7 +194,9 @@ func (c *Comm) Alltoallv(bufs [][]byte) [][]byte {
 		}
 	}
 	c.countExchange(c.kind, sentMsgs, int64(sent), recvMsgs, int64(recvd))
-	c.sync()
+	arrive = c.t.Now()
+	c.t.ReleaseSlots()
+	c.noteSync(arrive)
 	return out
 }
 
@@ -205,25 +205,28 @@ func (c *Comm) Alltoallv(bufs [][]byte) [][]byte {
 // pooled allgather slab — valid until the next collective.
 func (c *Comm) allgatherSmall(data []byte) [][]byte {
 	c.collectiveCost(len(data))
-	c.w.slots[c.rank] = data
-	c.sync()
+	arrive := c.t.Now()
+	in := c.t.GatherSlots(data)
+	c.noteSync(arrive)
 	if c.pool.agOut == nil {
 		c.pool.agOut = make([][]byte, c.size)
 	}
 	out := c.pool.agOut
 	total := 0
-	for _, s := range c.w.slots {
+	for _, s := range in {
 		total += len(s)
 	}
 	c.pool.agSlab = grow(c.pool.agSlab, total)
 	slab := c.pool.agSlab
 	off := 0
-	for i, s := range c.w.slots {
+	for i, s := range in {
 		n := copy(slab[off:off+len(s)], s)
 		out[i] = slab[off : off+n : off+n]
 		off += n
 	}
-	c.sync()
+	arrive = c.t.Now()
+	c.t.ReleaseSlots()
+	c.noteSync(arrive)
 	return out
 }
 

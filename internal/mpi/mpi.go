@@ -86,20 +86,21 @@ func (ib *inbox) take(src, tag int) (message, bool) {
 // AnySource matches messages from any rank in Recv.
 const AnySource = -1
 
-// World owns the shared state of one simulated cluster run.
+// World owns the shared state of one simulated cluster run. It also
+// doubles as the options bag for RunOpts: DialProc applies them to a
+// detached World to pick up timeout/connect/recorder settings for the
+// multi-process backend.
 type World struct {
 	size    int
 	timeout time.Duration // deadlock watchdog; immutable after Run starts
+	connect time.Duration // proc backend's dial+handshake budget (WithConnectTimeout)
 	epoch   time.Time     // zero point of all message/barrier timestamps
 	rec     *Recorder     // optional wait-state event recorder (may be nil)
 	inboxes []*inbox
 	barrier *barrier
 	slots   [][]byte   // collective exchange slots, one per rank
 	a2a     [][][]byte // alltoallv slots
-	poison  chan struct{}
-	once    sync.Once
-	failure error
-	failMu  sync.Mutex
+	fail    failState
 }
 
 // now returns the world's monotonic clock: time since the epoch. All
@@ -112,7 +113,10 @@ type RunOpt func(*World)
 
 // WithTimeout sets this world's deadlock timeout, overriding the
 // package default DeadlockTimeout for this run only. d <= 0 keeps the
-// default.
+// default. It governs steady-state waits — Recv, Barrier, and the
+// blocking phases of collectives — once the world is up; the proc
+// backend's connection establishment is budgeted separately by
+// WithConnectTimeout.
 func WithTimeout(d time.Duration) RunOpt {
 	return func(w *World) {
 		if d > 0 {
@@ -121,22 +125,41 @@ func WithTimeout(d time.Duration) RunOpt {
 	}
 }
 
-func (w *World) poisonWith(err error) {
-	w.failMu.Lock()
-	if w.failure == nil {
-		w.failure = err
+// DefaultConnectTimeout bounds the multi-process backend's dial,
+// accept, and handshake phase. It is deliberately much shorter than
+// DeadlockTimeout: a peer process that never comes up should fail the
+// launch in seconds, not stall the mesh for the full deadlock window.
+const DefaultConnectTimeout = 30 * time.Second
+
+// WithConnectTimeout sets the proc backend's connection-establishment
+// budget (dial retries, accepts, and handshakes all share it),
+// overriding DefaultConnectTimeout. d <= 0 keeps the default. Once the
+// mesh is up, WithTimeout's deadlock watchdog takes over — the two
+// never overlap in time. The in-process goroutine backend has no
+// connection phase, so this option is a documented no-op there.
+func WithConnectTimeout(d time.Duration) RunOpt {
+	return func(w *World) {
+		if d > 0 {
+			w.connect = d
+		}
 	}
-	w.failMu.Unlock()
-	w.once.Do(func() { close(w.poison) })
 }
 
-// Comm is one rank's endpoint into a World. Communication methods are
+func (w *World) poisonWith(err error) { w.fail.poisonWith(err) }
+
+// Comm is one rank's endpoint into a world. Communication methods are
 // not safe for concurrent use by multiple goroutines (like an MPI
 // communicator handle), but Stats may be called from any goroutine —
 // live observers snapshot a running rank's counters through it.
+//
+// Comm owns everything transport-independent — tags, kinds, traffic
+// stats, wait-state classification, pooled receive storage — and moves
+// bytes through its Transport, so the same rank code runs unmodified
+// on the goroutine and proc backends.
 type Comm struct {
 	rank, size int
-	w          *World
+	t          Transport
+	rec        *Recorder // optional wait-state event recorder (may be nil)
 
 	// statsMu guards stats: the rank goroutine mutates the counters on
 	// every operation while observers (status/metrics endpoints) take
@@ -149,6 +172,13 @@ type Comm struct {
 	// pool is the reusable receive-side storage for collectives; their
 	// results alias it and are valid until the next collective.
 	pool commPool
+	// sendBufs are the SendBuffers registered through NewSendBuffers;
+	// the abort path invalidates them so a recovering caller cannot
+	// exchange half-written payloads (see scrubOnFailure).
+	sendBufs []*SendBuffers
+	// gt is inline storage for the goroutine backend so Run does not
+	// pay an extra allocation per rank to select it.
+	gt goroutineTransport
 }
 
 // Stats counts one rank's traffic. Collective* fields use the
@@ -365,13 +395,14 @@ func Run(size int, fn func(c *Comm), opts ...RunOpt) []Stats {
 	w := &World{
 		size:    size,
 		timeout: DeadlockTimeout,
+		connect: DefaultConnectTimeout,
 		epoch:   time.Now(),
 		inboxes: make([]*inbox, size),
 		barrier: newBarrier(size),
 		slots:   make([][]byte, size),
 		a2a:     make([][][]byte, size),
-		poison:  make(chan struct{}),
 	}
+	w.fail.init()
 	for _, opt := range opts {
 		opt(w)
 	}
@@ -387,24 +418,56 @@ func Run(size int, fn func(c *Comm), opts ...RunOpt) []Stats {
 		wg.Add(1)
 		go func(rank int) {
 			defer wg.Done()
-			c := &Comm{rank: rank, size: size, w: w}
+			c := &Comm{rank: rank, size: size, rec: w.rec}
+			c.gt = goroutineTransport{rank: rank, w: w}
+			c.t = &c.gt
 			defer func() {
 				stats[rank] = c.Stats()
 				if p := recover(); p != nil {
 					w.poisonWith(fmt.Errorf("rank %d: %v", rank, p))
+					c.scrubOnFailure()
 				}
 			}()
 			fn(c)
 		}(r)
 	}
 	wg.Wait()
-	w.failMu.Lock()
-	err := w.failure
-	w.failMu.Unlock()
-	if err != nil {
+	if err := w.fail.failure(); err != nil {
 		panic(fmt.Sprintf("mpi: world failed: %v", err))
 	}
 	return stats
+}
+
+// RunRank executes fn as one rank of a distributed world whose other
+// ranks live elsewhere — the multi-process entry point that Run is to
+// the goroutine backend. rec optionally records wait-state events for
+// this rank (nil disables recording; its epoch should match the
+// transport's so events and journal spans share a time base).
+//
+// A panic in fn (including the poison/deadlock panics of the runtime
+// itself) is recovered into the returned error after aborting the
+// world, so every peer unwinds with the originating cause instead of
+// hanging until its watchdog fires. On clean completion the transport's
+// Finish runs a final synchronization before teardown, so a rank that
+// finishes early cannot poison peers still mid-algorithm.
+func RunRank(t Transport, rec *Recorder, fn func(c *Comm)) (Stats, error) {
+	c := &Comm{rank: t.Rank(), size: t.Size(), rec: rec, t: t}
+	var err error
+	func() {
+		defer func() {
+			if p := recover(); p != nil {
+				err = fmt.Errorf("rank %d: %v", c.rank, p)
+				c.scrubOnFailure()
+				t.Abort(err)
+			}
+		}()
+		fn(c)
+		t.Finish()
+	}()
+	if err == nil {
+		err = t.Err()
+	}
+	return c.Stats(), err
 }
 
 // Send delivers data to rank dst with the given tag. It never blocks
@@ -414,10 +477,8 @@ func (c *Comm) Send(dst, tag int, data []byte) {
 	if dst < 0 || dst >= c.size {
 		panic(fmt.Sprintf("mpi: Send to invalid rank %d (size %d)", dst, c.size))
 	}
-	cp := make([]byte, len(data))
-	copy(cp, data)
 	c.countSend(c.kindForTag(tag), int64(len(data)))
-	c.w.inboxes[dst].put(message{src: c.rank, tag: tag, data: cp, sentAt: c.w.now()})
+	c.t.Send(dst, tag, data)
 }
 
 // Recv blocks until a message with matching (src, tag) arrives and
@@ -426,42 +487,22 @@ func (c *Comm) Send(dst, tag int, data []byte) {
 // The elapsed time is split into wait-state components by comparing the
 // message's send stamp against this rank's ask time (ClassifyRecvWait):
 // a message sent after the ask charges blocked wait (late sender), one
-// queued before the ask charges queue residency (late receiver). The
-// deadlock timer is created lazily so the already-arrived fast path
-// stays allocation-free.
+// queued before the ask charges queue residency (late receiver).
 func (c *Comm) Recv(src, tag int) (data []byte, from int) {
-	ib := c.w.inboxes[c.rank]
-	start := c.w.now()
-	var deadline *time.Timer
-	for {
-		if m, ok := ib.take(src, tag); ok {
-			if deadline != nil {
-				deadline.Stop()
-			}
-			end := c.w.now()
-			k := c.kindForTag(tag)
-			blockedNs, queueNs, blocked := ClassifyRecvWait(start, end, m.sentAt)
-			c.countRecv(k, int64(len(m.data)), blockedNs, queueNs, blocked)
-			if rec := c.w.rec; rec != nil {
-				rec.AddP2P(c.rank, P2PEvent{
-					Src: m.src, Tag: tag, Kind: k,
-					Bytes:  int64(len(m.data)),
-					SentAt: m.sentAt, RecvStart: start, RecvEnd: end,
-				})
-			}
-			return m.data, m.src
-		}
-		if deadline == nil {
-			deadline = time.NewTimer(c.w.timeout)
-		}
-		select {
-		case <-ib.arrived:
-		case <-c.w.poison:
-			panic("mpi: world poisoned while waiting in Recv")
-		case <-deadline.C:
-			panic(fmt.Sprintf("mpi: rank %d deadlocked in Recv(src=%d, tag=%d)", c.rank, src, tag))
-		}
+	start := c.t.Now()
+	data, from, sentAt := c.t.Recv(src, tag)
+	end := c.t.Now()
+	k := c.kindForTag(tag)
+	blockedNs, queueNs, blocked := ClassifyRecvWait(start, end, sentAt)
+	c.countRecv(k, int64(len(data)), blockedNs, queueNs, blocked)
+	if rec := c.rec; rec != nil {
+		rec.AddP2P(c.rank, P2PEvent{
+			Src: from, Tag: tag, Kind: k,
+			Bytes:  int64(len(data)),
+			SentAt: sentAt, RecvStart: start, RecvEnd: end,
+		})
 	}
+	return data, from
 }
 
 // collectiveCost charges the modeled recursive-doubling cost for one
@@ -486,20 +527,22 @@ func (c *Comm) collectiveCost(payload int) {
 // Barrier blocks until every rank has entered it.
 func (c *Comm) Barrier() {
 	c.collectiveCost(0)
-	c.sync()
+	arrive := c.t.Now()
+	c.t.Sync()
+	c.noteSync(arrive)
 }
 
-// sync waits on the world barrier without charging collective cost; the
-// collectives use it internally so one logical collective is billed once.
-// The arrival-to-release skew is charged to BarrierWaitNs under the
-// ambient kind: the last rank to arrive releases everyone, so a rank's
-// skew here is exactly the time it lost waiting for its slowest peer.
-func (c *Comm) sync() {
-	arrive := c.w.now()
-	c.w.barrier.wait(c.w.poison, c.w.timeout)
-	release := c.w.now()
+// noteSync charges one completed synchronization point that was entered
+// at arrive: the arrival-to-release skew goes to BarrierWaitNs under
+// the ambient kind. The last rank to arrive releases everyone, so a
+// rank's skew here is exactly the time it lost waiting for its slowest
+// peer. Collectives call it around each of their blocking phases so one
+// logical collective contributes exactly two synchronization points on
+// every backend.
+func (c *Comm) noteSync(arrive time.Duration) {
+	release := c.t.Now()
 	c.countBarrier(int64(release - arrive))
-	if rec := c.w.rec; rec != nil {
+	if rec := c.rec; rec != nil {
 		rec.AddBarrier(c.rank, BarrierEvent{Arrive: arrive, Release: release})
 	}
 }
@@ -516,10 +559,11 @@ func newBarrier(size int) *barrier {
 	return &barrier{size: size, gen: make(chan struct{})}
 }
 
-func (b *barrier) wait(poison <-chan struct{}, timeout time.Duration) {
+func (b *barrier) wait(fail *failState, rank int, timeout time.Duration) {
 	b.mu.Lock()
 	ch := b.gen
 	b.count++
+	arrived := b.count
 	if b.count == b.size {
 		b.count = 0
 		b.gen = make(chan struct{})
@@ -528,13 +572,16 @@ func (b *barrier) wait(poison <-chan struct{}, timeout time.Duration) {
 		return
 	}
 	b.mu.Unlock()
+	began := time.Now()
 	deadline := time.NewTimer(timeout)
-	defer deadline.Stop()
+	defer stopTimer(deadline)
 	select {
 	case <-ch:
-	case <-poison:
-		panic("mpi: world poisoned while waiting in Barrier")
+	case <-fail.poison:
+		panic(fmt.Sprintf("mpi: rank %d: world poisoned while waiting in Barrier after %v: cause: %v",
+			rank, time.Since(began).Round(time.Microsecond), fail.failure()))
 	case <-deadline.C:
-		panic("mpi: deadlock in Barrier")
+		panic(fmt.Sprintf("mpi: rank %d deadlocked in Barrier after %v (%d of %d ranks had arrived)",
+			rank, time.Since(began).Round(time.Millisecond), arrived, b.size))
 	}
 }

@@ -16,9 +16,15 @@ type SendBuffers struct {
 	encs []*Encoder
 	used []bool
 	bufs [][]byte
+	// stale marks the buffers as invalidated by a world failure: an
+	// abort can land mid-round, leaving encoders half-written, so For
+	// and Bufs refuse to serve until a Reset starts a fresh round.
+	stale bool
 }
 
-// NewSendBuffers returns a SendBuffers for a p-rank world.
+// NewSendBuffers returns a SendBuffers for a p-rank world. It is not
+// registered with any Comm, so a world failure does not invalidate it;
+// prefer Comm.NewSendBuffers, which does.
 func NewSendBuffers(p int) *SendBuffers {
 	return &SendBuffers{
 		encs: make([]*Encoder, p),
@@ -27,9 +33,27 @@ func NewSendBuffers(p int) *SendBuffers {
 	}
 }
 
+// NewSendBuffers returns a SendBuffers sized for this communicator's
+// world and registers it with the Comm: if the world is poisoned, the
+// abort path invalidates it (see scrubOnFailure) so a recovering caller
+// cannot exchange the half-written payloads of the aborted round.
+func (c *Comm) NewSendBuffers() *SendBuffers {
+	sb := NewSendBuffers(c.size)
+	if c.sendBufs == nil {
+		// Sized for one SendBuffers per merge level; a run deep enough
+		// to spill just regrows.
+		c.sendBufs = make([]*SendBuffers, 0, 8)
+	}
+	c.sendBufs = append(c.sendBufs, sb)
+	return sb
+}
+
 // Reset starts a new exchange round: every destination becomes
-// inactive and its encoder is reset on first For.
+// inactive and its encoder is reset on first For. Reset also clears the
+// stale mark set by a world failure — a fresh round starts from fresh
+// payloads, so the invalidated contents can never be exchanged.
 func (s *SendBuffers) Reset() {
+	s.stale = false
 	for i := range s.used {
 		s.used[i] = false
 	}
@@ -39,6 +63,9 @@ func (s *SendBuffers) Reset() {
 // creating (first ever use) or resetting (first use this round) it as
 // needed.
 func (s *SendBuffers) For(dst int) *Encoder {
+	if s.stale {
+		panic("mpi: SendBuffers used after its world failed; Reset starts a fresh round")
+	}
 	e := s.encs[dst]
 	if e == nil {
 		e = NewEncoder(256)
@@ -56,6 +83,9 @@ func (s *SendBuffers) For(dst int) *Encoder {
 // returned slice and its payloads alias the pool and stay valid until
 // the next Reset.
 func (s *SendBuffers) Bufs() [][]byte {
+	if s.stale {
+		panic("mpi: SendBuffers used after its world failed; Reset starts a fresh round")
+	}
 	for i, e := range s.encs {
 		if s.used[i] {
 			s.bufs[i] = e.Bytes()
@@ -71,6 +101,17 @@ func (s *SendBuffers) Bufs() [][]byte {
 // which is why their results are only valid until the next collective
 // on the same Comm. Only the rank goroutine touches the pool (same
 // contract as the communication methods), so no locking is needed.
+//
+// Error path: when the world is poisoned, the collective that was in
+// flight never completed, so the slabs may be half-written — a mix of
+// this round's and the previous round's bytes. The abort path
+// (scrubOnFailure) therefore zeroes the slabs and drops the result
+// headers before the rank unwinds: a caller that recovers above the
+// runtime and still holds an aliased result sees zeros, never a
+// torn payload. The bufalias analyzer enforces the happy-path lifetime
+// (results die at the next collective); the scrub closes the same
+// contract over the failure path, where "the next collective" never
+// comes.
 type commPool struct {
 	pub     []byte    // outgoing publish buffer (scalar/vector reduces)
 	a2aOut  [][]byte  // Alltoallv result headers
@@ -96,4 +137,42 @@ func grow(b []byte, n int) []byte {
 		return make([]byte, n)
 	}
 	return b[:n]
+}
+
+// scrub invalidates the pool after a world failure: slabs are zeroed
+// over their full capacity and result headers dropped, so any collective
+// result still aliased by a recovering caller reads as zeros instead of
+// a half-written exchange. Capacity is kept — a retry on a fresh world
+// reuses the storage.
+func (p *commPool) scrub() {
+	clearBytes(p.pub[:cap(p.pub)])
+	clearBytes(p.a2aSlab[:cap(p.a2aSlab)])
+	clearBytes(p.agSlab[:cap(p.agSlab)])
+	for i := range p.a2aOut {
+		p.a2aOut[i] = nil
+	}
+	for i := range p.agOut {
+		p.agOut[i] = nil
+	}
+	for i := range p.sumOut[:cap(p.sumOut)] {
+		p.sumOut[i] = 0
+	}
+}
+
+func clearBytes(b []byte) {
+	for i := range b {
+		b[i] = 0
+	}
+}
+
+// scrubOnFailure is the pooled-storage half of the abort path: it runs
+// while the rank unwinds from a poison/deadlock panic, after which the
+// Comm must not be used for communication again. Registered SendBuffers
+// are marked stale (their round was cut mid-write) and the receive-side
+// pool is zeroed.
+func (c *Comm) scrubOnFailure() {
+	c.pool.scrub()
+	for _, sb := range c.sendBufs {
+		sb.stale = true
+	}
 }

@@ -1,0 +1,628 @@
+// The multi-process transport: each rank is an OS process, peers are
+// connected in a full mesh over TCP or unix sockets, and every payload
+// crosses as a length-prefixed frame in the same fixed-width
+// little-endian format as the codec (codec.go) that produces the
+// payloads themselves.
+//
+// Mesh establishment is deterministic: every rank listens on its own
+// address and dials every lower-numbered rank, retrying with backoff
+// until the connect budget (WithConnectTimeout) runs out; each
+// connection is verified by a handshake carrying the world size, both
+// rank ids, and the build version, so a mis-wired or mis-built mesh
+// fails the launch instead of corrupting a run. Collective traffic
+// rides the same frames under sequence-numbered control tags in the
+// negative tag space, which user tags (TagFor packs kinds into
+// non-negative ints) can never collide with.
+//
+// Failure semantics mirror the goroutine backend's poison protocol
+// across process boundaries: an aborting rank broadcasts a poison frame
+// carrying the originating cause before closing its sockets, and a
+// peer that dies without one (kill -9, crash) is detected as a
+// connection loss by its neighbors' readers — either way every healthy
+// rank unwinds with a cause instead of hanging until the watchdog.
+package mpi
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Frame layout: a fixed 24-byte header — payload length (u64), tag
+// (i64), sender's epoch-relative send stamp in nanoseconds (i64) —
+// followed by the payload bytes. Little-endian fixed-width, like every
+// codec-encoded payload it carries.
+const frameHeader = 24
+
+// maxFrame bounds a single payload; a length beyond it means a corrupt
+// or hostile stream and poisons the world instead of allocating.
+const maxFrame = 1 << 31
+
+// Control tags live in the negative tag space. Barrier tokens and
+// collective frames are sequence-numbered (SPMD order makes the
+// sequences identical on every rank), so early arrivals from a rank
+// that ran ahead queue harmlessly in the inbox until matched.
+const (
+	tagPoison = -1         // payload: the originating error text
+	tagHello  = -2         // handshake frame (never enters the inbox)
+	tagBar    = -(1 << 30) // barrier round r of generation g: tagBar - g*64 - r
+	tagGather = -(2 << 30) // allgather seq s: tagGather - s
+	tagScat   = -(3 << 30) // alltoallv seq s: tagScat - s
+	tagBcast  = -(4 << 30) // bcast seq s: tagBcast - s
+)
+
+// handshakeMagic identifies a dinfomap mesh peer; the low bytes spell
+// "dnfomesh".
+const handshakeMagic = 0x64_6e_66_6f_6d_65_73_68
+
+// ProcConfig wires one rank of a multi-process world.
+type ProcConfig struct {
+	Rank int // this rank's id
+	Size int // world size
+
+	// Listener is this rank's accept endpoint, already bound (the
+	// launcher binds all addresses before spawning so children never
+	// race on bind). The transport owns it and closes it once the mesh
+	// is complete.
+	Listener net.Listener
+	// Addrs[r] is rank r's listen address; len(Addrs) must equal Size.
+	Addrs []string
+	// Network is the dial network: "tcp" or "unix".
+	Network string
+	// Epoch is the shared zero point of all message stamps, chosen by
+	// the launcher and passed to every rank (as a wall-clock instant,
+	// so cross-process stamps are comparable). Zero means "now".
+	Epoch time.Time
+	// Version is this build's identity, exchanged and verified during
+	// the handshake so a mesh of mismatched binaries fails the launch.
+	// Empty disables the check.
+	Version string
+}
+
+// peerConn is one established connection to a peer rank. The write
+// side stages header+payload into one reusable buffer so each frame is
+// a single Write (readers on the other end never see torn headers from
+// interleaved writers; wmu serializes the rank goroutine with the
+// abort path's poison broadcast).
+type peerConn struct {
+	c    net.Conn
+	wmu  sync.Mutex
+	wbuf []byte
+}
+
+func (pc *peerConn) writeFrame(tag int, sentAt time.Duration, payload []byte) error {
+	pc.wmu.Lock()
+	defer pc.wmu.Unlock()
+	need := frameHeader + len(payload)
+	if cap(pc.wbuf) < need {
+		pc.wbuf = make([]byte, need)
+	}
+	b := pc.wbuf[:need]
+	binary.LittleEndian.PutUint64(b[0:], uint64(len(payload)))
+	binary.LittleEndian.PutUint64(b[8:], uint64(int64(tag)))
+	binary.LittleEndian.PutUint64(b[16:], uint64(int64(sentAt)))
+	copy(b[frameHeader:], payload)
+	_, err := pc.c.Write(b)
+	return err
+}
+
+// ProcTransport is the multi-process Transport: this process's endpoint
+// into a world of one-process-per-rank peers. Create one with DialProc
+// and run the rank with RunRank.
+type ProcTransport struct {
+	rank, size int
+	epoch      time.Time
+	timeout    time.Duration
+
+	fail  failState
+	ib    *inbox
+	conns []*peerConn // indexed by peer rank; nil at self
+
+	barGen  int      // barrier generation counter (SPMD-consistent)
+	collSeq int      // collective sequence counter (SPMD-consistent)
+	views   [][]byte // per-rank views returned by the Publish methods
+
+	done    atomic.Bool // set on clean Finish: subsequent EOFs are benign
+	closed  sync.Once
+	readers sync.WaitGroup
+}
+
+// DialProc establishes this rank's corner of the full mesh — listening
+// for higher-numbered ranks, dialing lower-numbered ones with
+// retry/backoff, and handshaking every connection — and returns the
+// ready transport. The whole phase shares one budget
+// (WithConnectTimeout; DefaultConnectTimeout if unset): a peer that
+// never appears fails the launch with an error, it does not consume the
+// much longer deadlock window (WithTimeout), which only starts once the
+// mesh is up.
+func DialProc(cfg ProcConfig, opts ...RunOpt) (*ProcTransport, error) {
+	if cfg.Rank < 0 || cfg.Rank >= cfg.Size {
+		return nil, fmt.Errorf("mpi: DialProc rank %d outside world of %d", cfg.Rank, cfg.Size)
+	}
+	if len(cfg.Addrs) != cfg.Size {
+		return nil, fmt.Errorf("mpi: DialProc with %d addrs for %d ranks", len(cfg.Addrs), cfg.Size)
+	}
+	// RunOpts are shared with Run; a detached World is their options bag.
+	bag := &World{timeout: DeadlockTimeout, connect: DefaultConnectTimeout}
+	for _, opt := range opts {
+		opt(bag)
+	}
+	epoch := cfg.Epoch
+	if epoch.IsZero() {
+		epoch = time.Now()
+	}
+	t := &ProcTransport{
+		rank:    cfg.Rank,
+		size:    cfg.Size,
+		epoch:   epoch,
+		timeout: bag.timeout,
+		ib:      newInbox(),
+		conns:   make([]*peerConn, cfg.Size),
+		views:   make([][]byte, cfg.Size),
+	}
+	t.fail.init()
+	deadline := time.Now().Add(bag.connect)
+
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	wg.Add(1)
+	go func() { // accept ranks above us
+		defer wg.Done()
+		errs[0] = t.acceptPeers(cfg, deadline)
+	}()
+	wg.Add(1)
+	go func() { // dial ranks below us
+		defer wg.Done()
+		errs[1] = t.dialPeers(cfg, deadline)
+	}()
+	wg.Wait()
+	if cfg.Listener != nil {
+		//dinfomap:close-ok mesh is complete; nothing was ever written through the listener
+		cfg.Listener.Close()
+	}
+	if err := errors.Join(errs[0], errs[1]); err != nil {
+		t.closeConns()
+		return nil, fmt.Errorf("mpi: rank %d mesh setup: %w", cfg.Rank, err)
+	}
+	for peer, pc := range t.conns {
+		if pc == nil {
+			continue
+		}
+		t.readers.Add(1)
+		go t.reader(peer, pc)
+	}
+	return t, nil
+}
+
+func (t *ProcTransport) acceptPeers(cfg ProcConfig, deadline time.Time) error {
+	want := cfg.Size - 1 - cfg.Rank // every rank above us dials in
+	if want == 0 {
+		return nil
+	}
+	l := cfg.Listener
+	if l == nil {
+		return fmt.Errorf("no listener but %d peers must dial in", want)
+	}
+	type deadliner interface{ SetDeadline(time.Time) error }
+	if d, ok := l.(deadliner); ok {
+		if err := d.SetDeadline(deadline); err != nil {
+			return fmt.Errorf("listener deadline: %w", err)
+		}
+	}
+	for got := 0; got < want; got++ {
+		conn, err := l.Accept()
+		if err != nil {
+			return fmt.Errorf("accepting peer %d of %d: %w", got+1, want, err)
+		}
+		peer, err := t.handshake(conn, cfg, AnySource, deadline)
+		if err != nil {
+			//dinfomap:close-ok handshake already failed; the close error cannot add anything
+			conn.Close()
+			return err
+		}
+		if peer <= cfg.Rank || peer >= cfg.Size || t.conns[peer] != nil {
+			//dinfomap:close-ok rejecting a duplicate/out-of-range peer; its close error is irrelevant
+			conn.Close()
+			return fmt.Errorf("unexpected hello from rank %d", peer)
+		}
+		t.conns[peer] = &peerConn{c: conn}
+	}
+	return nil
+}
+
+func (t *ProcTransport) dialPeers(cfg ProcConfig, deadline time.Time) error {
+	for peer := 0; peer < cfg.Rank; peer++ {
+		backoff := 10 * time.Millisecond
+		for {
+			remaining := time.Until(deadline)
+			if remaining <= 0 {
+				return fmt.Errorf("connect timeout dialing rank %d at %s", peer, cfg.Addrs[peer])
+			}
+			conn, err := net.DialTimeout(cfg.Network, cfg.Addrs[peer], remaining)
+			if err == nil {
+				got, herr := t.handshake(conn, cfg, peer, deadline)
+				if herr == nil && got == peer {
+					t.conns[peer] = &peerConn{c: conn}
+					break
+				}
+				//dinfomap:close-ok handshake already failed; the close error cannot add anything
+				conn.Close()
+				if herr == nil {
+					herr = fmt.Errorf("dialed rank %d but peer claims rank %d", peer, got)
+				}
+				// An I/O error mid-handshake can be the peer still
+				// coming up (listener bound, process not accepting
+				// yet on some platforms); verification mismatches are
+				// configuration bugs and fail immediately.
+				var mismatch *handshakeMismatch
+				if errors.As(herr, &mismatch) {
+					return herr
+				}
+				err = herr
+			}
+			// Exponential backoff while the peer process starts up.
+			time.Sleep(backoff)
+			if backoff < 500*time.Millisecond {
+				backoff *= 2
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("connect timeout dialing rank %d at %s: last error: %v", peer, cfg.Addrs[peer], err)
+			}
+		}
+	}
+	return nil
+}
+
+// handshakeMismatch is a non-retryable handshake failure: the peer is
+// reachable but belongs to a different world, rank, or build.
+type handshakeMismatch struct{ msg string }
+
+func (e *handshakeMismatch) Error() string { return e.msg }
+
+// handshake exchanges and verifies hello frames on a fresh connection.
+// wantPeer is the expected remote rank, or AnySource on the accept side
+// (the hello tells us who dialed). Both sides send first and then read
+// — the frames cross on the wire, so there is no lock-step ordering to
+// deadlock on.
+func (t *ProcTransport) handshake(conn net.Conn, cfg ProcConfig, wantPeer int, deadline time.Time) (int, error) {
+	if err := conn.SetDeadline(deadline); err != nil {
+		return 0, fmt.Errorf("handshake deadline: %w", err)
+	}
+	e := NewEncoder(64)
+	e.PutU64(handshakeMagic)
+	e.PutInt(cfg.Size)
+	e.PutInt(cfg.Rank)
+	e.PutInt(len(cfg.Version))
+	hello := append(e.Bytes(), cfg.Version...)
+	pc := &peerConn{c: conn}
+	if err := pc.writeFrame(tagHello, 0, hello); err != nil {
+		return 0, fmt.Errorf("sending hello: %w", err)
+	}
+	var hdr [frameHeader]byte
+	if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+		return 0, fmt.Errorf("reading hello header: %w", err)
+	}
+	n := binary.LittleEndian.Uint64(hdr[0:])
+	tag := int(int64(binary.LittleEndian.Uint64(hdr[8:])))
+	if tag != tagHello || n > 4096 {
+		return 0, &handshakeMismatch{fmt.Sprintf("bad hello frame (tag=%d, len=%d): not a dinfomap mesh peer?", tag, n)}
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(conn, buf); err != nil {
+		return 0, fmt.Errorf("reading hello: %w", err)
+	}
+	d := NewDecoder(buf)
+	if magic := d.U64(); magic != handshakeMagic {
+		return 0, &handshakeMismatch{fmt.Sprintf("bad hello magic %#x", magic)}
+	}
+	size, peer := d.Int(), d.Int()
+	version := string(buf[len(buf)-d.Int():])
+	if size != cfg.Size {
+		return 0, &handshakeMismatch{fmt.Sprintf("rank %d believes world size is %d, we have %d", peer, size, cfg.Size)}
+	}
+	if wantPeer != AnySource && peer != wantPeer {
+		return 0, &handshakeMismatch{fmt.Sprintf("dialed rank %d but peer claims rank %d", wantPeer, peer)}
+	}
+	if cfg.Version != "" && version != "" && version != cfg.Version {
+		return 0, &handshakeMismatch{fmt.Sprintf("build mismatch: rank %d runs %q, we run %q", peer, version, cfg.Version)}
+	}
+	if err := conn.SetDeadline(time.Time{}); err != nil {
+		return 0, fmt.Errorf("clearing handshake deadline: %w", err)
+	}
+	return peer, nil
+}
+
+// reader drains one peer connection into the inbox for the life of the
+// world. A poison frame carries a failed peer's cause; a bare
+// connection loss (crash, kill) becomes one. After a clean Finish both
+// are expected and ignored.
+func (t *ProcTransport) reader(peer int, pc *peerConn) {
+	defer t.readers.Done()
+	hdr := make([]byte, frameHeader)
+	for {
+		if _, err := io.ReadFull(pc.c, hdr); err != nil {
+			t.readFailed(peer, err)
+			return
+		}
+		n := binary.LittleEndian.Uint64(hdr[0:])
+		tag := int(int64(binary.LittleEndian.Uint64(hdr[8:])))
+		sentAt := time.Duration(int64(binary.LittleEndian.Uint64(hdr[16:])))
+		if n > maxFrame {
+			t.readFailed(peer, fmt.Errorf("frame of %d bytes exceeds limit", n))
+			return
+		}
+		data := make([]byte, n)
+		if _, err := io.ReadFull(pc.c, data); err != nil {
+			t.readFailed(peer, err)
+			return
+		}
+		if tag == tagPoison {
+			t.fail.poisonWith(fmt.Errorf("poisoned by rank %d: %s", peer, data))
+			return
+		}
+		t.ib.put(message{src: peer, tag: tag, data: data, sentAt: sentAt})
+	}
+}
+
+func (t *ProcTransport) readFailed(peer int, err error) {
+	if t.done.Load() {
+		return // clean teardown: peers hanging up is the expected end
+	}
+	t.fail.poisonWith(fmt.Errorf("rank %d: connection to rank %d lost: %v", t.rank, peer, err))
+}
+
+func (t *ProcTransport) Rank() int          { return t.rank }
+func (t *ProcTransport) Size() int          { return t.size }
+func (t *ProcTransport) Now() time.Duration { return time.Since(t.epoch) }
+
+// send writes one frame to peer dst, poisoning the world (and
+// unwinding this rank) if the write fails — buffered semantics hold
+// because the kernel socket buffer and the peer's reader goroutine
+// absorb the payload without the peer's rank code receiving.
+func (t *ProcTransport) send(dst, tag int, data []byte) {
+	if dst == t.rank {
+		// Self-sends stay local (the goroutine backend does the same
+		// through its own inbox).
+		cp := make([]byte, len(data))
+		copy(cp, data)
+		t.ib.put(message{src: t.rank, tag: tag, data: cp, sentAt: t.Now()})
+		return
+	}
+	if err := t.conns[dst].writeFrame(tag, t.Now(), data); err != nil {
+		// A failed write is usually the symptom of a peer's abort —
+		// its sockets close a moment before its poison frame is
+		// processed on our side. Give the real cause a moment to
+		// arrive so the unwind names the disease, not the broken pipe.
+		cause := t.awaitCause(fmt.Errorf("rank %d: send to rank %d failed: %v", t.rank, dst, err))
+		panic(fmt.Sprintf("mpi: rank %d: world poisoned in Send(dst=%d, tag=%d): cause: %v", t.rank, dst, tag, cause))
+	}
+}
+
+// awaitCause resolves the failure to blame for a secondary symptom
+// (like a failed write): wait briefly for the world's first recorded
+// failure — a poison frame or connection-loss report in flight on
+// another connection — and fall back to the symptom itself if nothing
+// arrives.
+func (t *ProcTransport) awaitCause(fallback error) error {
+	grace := time.NewTimer(200 * time.Millisecond)
+	defer stopTimer(grace)
+	select {
+	case <-t.fail.poison:
+	case <-grace.C:
+	}
+	t.fail.poisonWith(fallback)
+	return t.fail.failure()
+}
+
+func (t *ProcTransport) Send(dst, tag int, data []byte) { t.send(dst, tag, data) }
+
+// recvMatch blocks until the inbox holds a message matching (src, tag).
+// Same lazy-timer loop as the goroutine backend, with op naming the
+// blocking operation in failure diagnostics.
+func (t *ProcTransport) recvMatch(src, tag int, op string) message {
+	var deadline *time.Timer
+	var began time.Duration
+	for {
+		if m, ok := t.ib.take(src, tag); ok {
+			if deadline != nil {
+				stopTimer(deadline)
+			}
+			return m
+		}
+		if deadline == nil {
+			deadline = time.NewTimer(t.timeout)
+			began = t.Now()
+		}
+		select {
+		case <-t.ib.arrived:
+		case <-t.fail.poison:
+			poisonRecvPanic(t.rank, op, src, tag, t.Now()-began, t.fail.failure(), t.ib)
+		case <-deadline.C:
+			deadlockRecvPanic(t.rank, op, src, tag, t.Now()-began, t.ib)
+		}
+	}
+}
+
+func (t *ProcTransport) Recv(src, tag int) ([]byte, int, time.Duration) {
+	m := t.recvMatch(src, tag, "Recv")
+	return m.data, m.src, m.sentAt
+}
+
+// Sync is a dissemination barrier: ceil(log2 p) rounds, each sending a
+// generation-and-round-tagged token to rank+2^r and waiting for the
+// token from rank-2^r. When the rounds complete, every rank is known to
+// have entered this generation.
+func (t *ProcTransport) Sync() {
+	gen := t.barGen
+	t.barGen++
+	round := 0
+	for k := 1; k < t.size; k <<= 1 {
+		dst := (t.rank + k) % t.size
+		src := (t.rank - k + t.size) % t.size
+		tag := tagBar - gen*64 - round
+		t.send(dst, tag, nil)
+		t.recvMatch(src, tag, "Barrier")
+		round++
+	}
+}
+
+// GatherSlots is allgather as p2p: send our contribution to every peer
+// under this collective's sequence tag, then collect every peer's in
+// rank order. Completing the collection is itself the synchronization —
+// a rank cannot pass until all have published.
+func (t *ProcTransport) GatherSlots(data []byte) [][]byte {
+	seq := t.collSeq
+	t.collSeq++
+	tag := tagGather - seq
+	for dst := 0; dst < t.size; dst++ {
+		if dst != t.rank {
+			t.send(dst, tag, data)
+		}
+	}
+	t.views[t.rank] = data
+	for src := 0; src < t.size; src++ {
+		if src == t.rank {
+			continue
+		}
+		m := t.recvMatch(src, tag, "Allgather")
+		t.views[src] = m.data
+	}
+	return t.views
+}
+
+func (t *ProcTransport) ScatterSlots(bufs [][]byte) [][]byte {
+	seq := t.collSeq
+	t.collSeq++
+	tag := tagScat - seq
+	for dst := 0; dst < t.size; dst++ {
+		if dst != t.rank {
+			t.send(dst, tag, bufs[dst])
+		}
+	}
+	t.views[t.rank] = bufs[t.rank]
+	for src := 0; src < t.size; src++ {
+		if src == t.rank {
+			continue
+		}
+		m := t.recvMatch(src, tag, "Alltoallv")
+		t.views[src] = m.data
+	}
+	return t.views
+}
+
+func (t *ProcTransport) BcastSlot(root int, data []byte) []byte {
+	seq := t.collSeq
+	t.collSeq++
+	tag := tagBcast - seq
+	if t.rank == root {
+		for dst := 0; dst < t.size; dst++ {
+			if dst != root {
+				t.send(dst, tag, data)
+			}
+		}
+		return data
+	}
+	m := t.recvMatch(root, tag, "Bcast")
+	return m.data
+}
+
+// ReleaseSlots is free on this backend: every collective's frames carry
+// a unique sequence tag, so a rank that runs ahead and republishes
+// cannot overwrite anything — early frames just queue in the inbox.
+// The view slices themselves are reused by the next Publish, which is
+// exactly the pooling contract Comm already exposes to its callers.
+func (t *ProcTransport) ReleaseSlots() {}
+
+// Abort poisons the world with err and broadcasts it to every peer as a
+// poison frame, so remote ranks unwind with the originating cause
+// instead of a bare connection loss. Writes are best-effort under a
+// short deadline — a peer that is already gone cannot be allowed to
+// block the unwind.
+func (t *ProcTransport) Abort(err error) {
+	t.fail.poisonWith(err)
+	t.done.Store(true) // our own readers' EOFs are expected from here on
+	msg := []byte(err.Error())
+	for _, pc := range t.conns {
+		if pc == nil {
+			continue
+		}
+		_ = pc.c.SetWriteDeadline(time.Now().Add(2 * time.Second))
+		_ = pc.writeFrame(tagPoison, 0, msg)
+	}
+	t.closeConns()
+}
+
+func (t *ProcTransport) Err() error { return t.fail.failure() }
+
+// Finish completes this rank cleanly: a final barrier proves every
+// peer has also finished the algorithm (so closing our sockets cannot
+// poison a rank still mid-sweep), then the mesh is torn down. It
+// panics — like any blocked operation — if the world was poisoned
+// instead.
+//
+// done is set before the barrier, not after: once fn has returned, the
+// only frames this rank still needs are the final-barrier tokens (and
+// any poison), and TCP ordering delivers a peer's tokens before its
+// close — so a hangup observed from here on is a peer that finished
+// and left, not a failure. The narrow cost: a peer that crashes after
+// its algorithm but before its final barrier leaves us to the deadlock
+// watchdog (or to a poison frame from a third rank that saw the crash
+// while still working) rather than an instant connection-loss poison.
+func (t *ProcTransport) Finish() {
+	t.done.Store(true)
+	t.Sync()
+	t.closeConns()
+}
+
+func (t *ProcTransport) closeConns() {
+	t.closed.Do(func() {
+		for _, pc := range t.conns {
+			if pc != nil {
+				//dinfomap:close-ok mesh teardown; the sockets carried their last frame already
+				pc.c.Close()
+			}
+		}
+	})
+}
+
+// ListenRanks binds one listener per rank before any rank process
+// starts, so children never race on bind and every address is known up
+// front. network is "tcp" (loopback, kernel-assigned ports) or "unix"
+// (sockets named rank<i>.sock under dir — keep dir short, unix socket
+// paths are limited to ~100 bytes). The caller owns the listeners: the
+// launcher passes each to its rank's process and closes its own copies.
+func ListenRanks(network string, size int, dir string) ([]net.Listener, []string, error) {
+	listeners := make([]net.Listener, 0, size)
+	addrs := make([]string, 0, size)
+	closeAll := func() {
+		for _, l := range listeners {
+			//dinfomap:close-ok unwinding a failed setup; the bind error is already being returned
+			l.Close()
+		}
+	}
+	for r := 0; r < size; r++ {
+		var addr string
+		switch network {
+		case "tcp":
+			addr = "127.0.0.1:0"
+		case "unix":
+			addr = fmt.Sprintf("%s/rank%d.sock", dir, r)
+		default:
+			closeAll()
+			return nil, nil, fmt.Errorf("mpi: ListenRanks: unsupported network %q", network)
+		}
+		l, err := net.Listen(network, addr)
+		if err != nil {
+			closeAll()
+			return nil, nil, fmt.Errorf("mpi: ListenRanks: rank %d: %w", r, err)
+		}
+		listeners = append(listeners, l)
+		addrs = append(addrs, l.Addr().String())
+	}
+	return listeners, addrs, nil
+}
