@@ -60,53 +60,6 @@ func loadNormalized(path string) ([]byte, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
-	scrubReport(rep)
+	obs.ScrubVolatile(rep)
 	return json.MarshalIndent(rep, "", "  ")
-}
-
-// scrubReport zeroes the measured host times and drops the
-// journal-only sections; everything left must be bit-identical across
-// transports for the same graph, config, and seed.
-func scrubReport(rep *obs.Report) {
-	rep.Timing.Stage1WallNs = 0
-	rep.Timing.Stage2WallNs = 0
-	rep.Timing.PhaseWallNs = nil
-	rep.WaitStates = nil
-	rep.CriticalPath = nil
-	rep.LostTime = nil
-	rep.Build = nil
-	if rep.Comms != nil {
-		scrubComm(&rep.Comms.Totals)
-		scrubCommMap(rep.Comms.ByKind)
-	}
-	for i := range rep.Ranks {
-		r := &rep.Ranks[i]
-		r.Wall1Ns = 0
-		r.Wall2Ns = 0
-		r.PhaseWallNs = nil
-		scrubComm(&r.Comm)
-		scrubCommMap(r.CommByKind)
-		for k := range r.Iterations {
-			r.Iterations[k].WallNs = 0
-			scrubComm(&r.Iterations[k].Comm)
-			scrubCommMap(r.Iterations[k].CommByKind)
-		}
-	}
-}
-
-// scrubComm zeroes the wall-clock wait measurements of one comm
-// record. The traffic counters and BarrierSyncs stay: they are
-// deterministic and the parity check's point.
-func scrubComm(c *obs.CommTotals) {
-	c.RecvBlockedWallNs = 0
-	c.RecvQueueWallNs = 0
-	c.RecvsBlockedWall = 0
-	c.BarrierWaitWallNs = 0
-}
-
-func scrubCommMap(m map[string]obs.CommTotals) {
-	for k, c := range m {
-		scrubComm(&c)
-		m[k] = c
-	}
 }

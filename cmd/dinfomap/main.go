@@ -22,6 +22,15 @@
 // /debug/dinfomap/metrics exposes per-rank span and per-kind traffic
 // counters in Prometheus text format. CPU profiles are labeled per
 // simulated rank; isolate one with go tool pprof -tagfocus rank=3.
+//
+// With -transport=proc the same surface is mesh-wide: each rank process
+// streams its telemetry to the launcher over a side channel, the
+// launcher aligns all timestamps using per-rank clock-offset estimates,
+// and -pprof/-trace/-metrics then serve or write one unified view — a
+// single merged trace with one row per rank process and cross-process
+// message flow arrows, and a run report carrying the same wait-state
+// and critical-path sections as in-process runs (plus per-rank
+// transport counters and the clock estimates themselves).
 package main
 
 import (
@@ -58,7 +67,7 @@ func main() {
 		top     = flag.Int("top", 0, "print a report of the top N communities")
 		quiet   = flag.Bool("q", false, "suppress the breakdown report")
 
-		tracePath   = flag.String("trace", "", "write a Chrome trace-event JSON timeline to this file (-transport=proc writes one per rank, suffixed .rank<r>)")
+		tracePath   = flag.String("trace", "", "write a Chrome trace-event JSON timeline to this file (-transport=proc writes one merged clock-aligned timeline plus per-rank fragments suffixed .rank<r>)")
 		metricsPath = flag.String("metrics", "", "write the structured JSON run report to this file")
 		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile  = flag.String("memprofile", "", "write a heap profile to this file")
@@ -73,6 +82,7 @@ func main() {
 		mpiNet      = flag.String("mpi-net", "tcp", "internal: mesh network (tcp or unix)")
 		mpiEpoch    = flag.Int64("mpi-epoch", 0, "internal: shared wall-clock epoch, unix nanoseconds")
 		mpiArtifact = flag.String("mpi-artifact", "", "internal: rank artifact output path")
+		mpiUplink   = flag.String("mpi-uplink", "", "internal: parent telemetry uplink address")
 	)
 	flag.Parse()
 	if *version {
@@ -92,6 +102,7 @@ func main() {
 			network:      *mpiNet,
 			epochNano:    *mpiEpoch,
 			artifactPath: *mpiArtifact,
+			uplink:       *mpiUplink,
 			launch:       launch,
 		}); err != nil {
 			fatal(err)
@@ -110,20 +121,18 @@ func main() {
 	// The journal feeds -trace, the live -pprof debug endpoints, and the
 	// wait-state sections of the -metrics report (the critical path needs
 	// span timings, so a report without a journal would ship without it).
-	// With -transport=proc the events happen in the child processes, so
-	// the parent keeps no journal: children write per-rank trace files,
-	// and the report's wait-state sections (which need all ranks' raw
-	// events in one process) are absent.
+	// With -transport=proc the events happen in the child processes; the
+	// parent's journal receives them over the telemetry uplink, aligned
+	// to one epoch, so the same endpoints and outputs cover the mesh.
+	epoch := time.Now()
+	launch.epoch = epoch
 	var journal *dinfomap.RunJournal
-	if !multiproc && (*tracePath != "" || *pprofAddr != "" || *metricsPath != "") {
-		journal = dinfomap.NewRunJournal(*p)
+	var liveMetrics *dinfomap.RunLiveMetrics
+	if *tracePath != "" || *pprofAddr != "" || *metricsPath != "" {
+		journal = dinfomap.NewRunJournalAt(*p, epoch)
 	}
 	if *pprofAddr != "" {
-		if journal != nil {
-			dinfomap.RegisterRunDebugHandlers(http.DefaultServeMux, journal)
-		} else {
-			fmt.Fprintln(os.Stderr, "dinfomap: -pprof with -transport=proc profiles the launcher only; the live run endpoints are unavailable")
-		}
+		liveMetrics = dinfomap.RegisterRunDebugHandlers(http.DefaultServeMux, journal)
 		go func() {
 			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
 				fmt.Fprintln(os.Stderr, "dinfomap: pprof listener:", err)
@@ -157,11 +166,19 @@ func main() {
 	cfg := dinfomap.DistributedConfig{P: *p, DHigh: *dHigh, Seed: *seed, Journal: journal}
 	start := time.Now()
 	var res *dinfomap.DistributedResult
+	var mesh *meshTelemetry
 	if multiproc {
 		fmt.Printf("transport: proc (%d rank processes over TCP loopback)\n", *p)
-		res, err = launchProcRanks(launch)
+		res, mesh, err = launchProcRanks(launch, journal, liveMetrics)
 		if err != nil {
 			fatal(err)
+		}
+		if mesh != nil {
+			// Report building reads span timings from the journal; hand it
+			// the merged clock-aligned one so the proc-mode report carries
+			// the same wait-state and critical-path sections as in-process
+			// runs (res already carries the recorder and clock estimates).
+			cfg.Journal = mesh.journal
 		}
 	} else {
 		res = dinfomap.RunDistributed(g, cfg)
@@ -196,17 +213,16 @@ func main() {
 		}
 	}
 	if *tracePath != "" {
+		if err := writeFile(*tracePath, func(w io.Writer) error {
+			return dinfomap.WriteChromeTraceWith(w, cfg.Journal, res.WaitRecorder)
+		}); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s (%d events; open in https://ui.perfetto.dev)\n",
+			*tracePath, cfg.Journal.NumEvents())
 		if multiproc {
-			fmt.Printf("wrote %s.rank0 .. .rank%d (one timeline per rank process)\n",
+			fmt.Printf("wrote %s.rank0 .. .rank%d (raw per-process fragments)\n",
 				*tracePath, *p-1)
-		} else {
-			if err := writeFile(*tracePath, func(w io.Writer) error {
-				return dinfomap.WriteChromeTraceWith(w, cfg.Journal, res.WaitRecorder)
-			}); err != nil {
-				fatal(err)
-			}
-			fmt.Printf("wrote %s (%d events; open in https://ui.perfetto.dev)\n",
-				*tracePath, cfg.Journal.NumEvents())
 		}
 	}
 	if *metricsPath != "" {

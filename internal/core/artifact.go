@@ -42,6 +42,11 @@ type RankArtifact struct {
 	// Output holds the rank-identical algorithm outputs; only rank 0's
 	// artifact carries it (mirroring runState.out).
 	Output *RankOutput `json:"output,omitempty"`
+
+	// Transport carries the rank's wire-level counters when the rank
+	// ran over a transport that has a wire (the multi-process mesh);
+	// nil for in-process transports.
+	Transport *mpi.TransportStats `json:"transport,omitempty"`
 }
 
 // RankOutput is the algorithm's result proper: identical on every rank
@@ -68,9 +73,11 @@ type RankOutput struct {
 //
 // Unlike Run, RunRank cannot serve the degenerate empty graph (there is
 // no rank program to run); callers handle that case locally the way Run
-// does. Journaling (cfg.Journal) works per process, but the cross-rank
-// WaitRecorder does not exist here — raw wait events stay local to each
-// process, while the wait-state counters in Stats work as always.
+// does. Journaling (cfg.Journal) works per process; cfg.Recorder, when
+// set, records this process's raw wait events (the launcher merges each
+// child's records into a cross-rank view). Transports that expose
+// wire-level counters (the multi-process mesh's Telemetry method) have
+// them snapshotted into the artifact.
 func RunRank(g *graph.Graph, cfg Config, t mpi.Transport) (*RankArtifact, error) {
 	cfg = cfg.withDefaults()
 	if t.Size() != cfg.P {
@@ -81,11 +88,16 @@ func RunRank(g *graph.Graph, cfg Config, t mpi.Transport) (*RankArtifact, error)
 		return nil, fmt.Errorf("core: RunRank needs a non-empty graph")
 	}
 	runner := newRunState(g, &cfg)
-	stats, err := mpi.RunRank(t, nil, runner.rankMain)
+	stats, err := mpi.RunRank(t, cfg.Recorder, runner.rankMain)
 	if err != nil {
 		return nil, err
 	}
-	return runner.artifact(t.Rank(), stats), nil
+	art := runner.artifact(t.Rank(), stats)
+	type telemeter interface{ Telemetry() *mpi.TransportStats }
+	if tm, ok := t.(telemeter); ok {
+		art.Transport = tm.Telemetry()
+	}
+	return art, nil
 }
 
 // Assemble combines one artifact per rank into the full Result. It is
@@ -136,6 +148,12 @@ func Assemble(cfg Config, artifacts []*RankArtifact) (*Result, error) {
 	res.PerRankIterations = make([][]obs.IterationReport, cfg.P)
 	res.CommStats = make([]mpi.Stats, cfg.P)
 	for r, a := range artifacts {
+		if a.Transport != nil {
+			if res.Transports == nil {
+				res.Transports = make([]*mpi.TransportStats, cfg.P)
+			}
+			res.Transports[r] = a.Transport
+		}
 		res.PerRankPhase[r] = a.Phase
 		res.PerRankStage2[r] = a.Stage2
 		res.PerRankStage2Phase[r] = a.Stage2Phase

@@ -53,6 +53,12 @@ type Config struct {
 	// phase of every synchronized sweep (see package obs). It must have
 	// at least P rank slots; nil disables journaling at zero cost.
 	Journal *obs.Journal
+	// Recorder, when non-nil, receives the raw wait-state events (p2p
+	// matches, barrier passages) of this process's ranks. Run creates
+	// one itself when Journal is set and Recorder is nil; RunRank (one
+	// rank per process) uses it as given, so a multi-process child can
+	// record its rank's events and ship them to the launcher.
+	Recorder *mpi.Recorder
 }
 
 func (c Config) withDefaults() Config {
@@ -134,6 +140,13 @@ type Result struct {
 	// Non-nil only when the run journaled (Config.Journal set):
 	// recording is kept out of benchmarked paths.
 	WaitRecorder *mpi.Recorder
+	// Transports holds each rank's wire-level transport counters on
+	// multi-process runs (nil entries where a rank reported none; nil
+	// slice on in-process runs, which have no wire).
+	Transports []*mpi.TransportStats
+	// Clocks holds the launcher's per-rank clock-offset estimates on
+	// telemetry-enabled multi-process runs; nil otherwise.
+	Clocks []obs.ClockEstimate
 	// MaxRankBytes is the largest per-rank total byte count.
 	MaxRankBytes int64
 	// DeltaEvaluations is the global number of delta-L evaluations.
@@ -165,14 +178,18 @@ func Run(g *graph.Graph, cfg Config) *Result {
 	// journal epoch so they compare with span times) for the wait-state
 	// and critical-path report sections.
 	var runOpts []mpi.RunOpt
-	var rec *mpi.Recorder
-	if cfg.Journal != nil {
+	rec := cfg.Recorder
+	if rec == nil && cfg.Journal != nil {
 		rec = mpi.NewRecorder(cfg.P, cfg.Journal.Epoch())
+	}
+	if rec != nil {
 		runOpts = append(runOpts, mpi.WithRecorder(rec))
 	}
+	// End the live stream when the run ends, however it ends: deferred
+	// so a panicking rank still leaves subscribers a terminal status
+	// frame instead of a stream that never closes.
+	defer cfg.Journal.Finish()
 	stats := mpi.Run(cfg.P, runner.rankMain, runOpts...)
-	// End the live stream: subscribers drain their rings and receive
-	// the final status snapshot.
 	cfg.Journal.Finish()
 
 	// Package each simulated rank's slots as an artifact and assemble —

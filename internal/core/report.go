@@ -112,6 +112,9 @@ func BuildReport(g *graph.Graph, cfg Config, res *Result) *obs.Report {
 		if r < len(res.PerRankIterations) {
 			rr.Iterations = res.PerRankIterations[r]
 		}
+		if r < len(res.Transports) {
+			rr.Transport = res.Transports[r]
+		}
 		rep.Ranks = append(rep.Ranks, rr)
 	}
 	rep.Comms = obs.BuildComms(res.CommStats)
@@ -120,6 +123,7 @@ func BuildReport(g *graph.Graph, cfg Config, res *Result) *obs.Report {
 		rep.LostTime = obs.BuildLostTime(res.CommStats, cfg.Journal)
 		rep.CriticalPath = obs.CriticalPath(cfg.Journal, res.WaitRecorder)
 	}
+	rep.Clocks = res.Clocks
 	build := obs.ReadBuild()
 	rep.Build = &build
 	return rep

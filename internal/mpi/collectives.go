@@ -53,6 +53,7 @@ func (c *Comm) BcastBytes(root int, data []byte) []byte {
 	arrive := c.t.Now()
 	src := c.t.BcastSlot(root, data)
 	c.noteSync(arrive)
+	c.recordSlotMatches()
 	cp := make([]byte, len(src))
 	copy(cp, src)
 	arrive = c.t.Now()
@@ -169,6 +170,7 @@ func (c *Comm) Alltoallv(bufs [][]byte) [][]byte {
 	arrive := c.t.Now()
 	in := c.t.ScatterSlots(bufs)
 	c.noteSync(arrive)
+	c.recordSlotMatches()
 	if c.pool.a2aOut == nil {
 		c.pool.a2aOut = make([][]byte, c.size)
 	}
@@ -208,6 +210,7 @@ func (c *Comm) allgatherSmall(data []byte) [][]byte {
 	arrive := c.t.Now()
 	in := c.t.GatherSlots(data)
 	c.noteSync(arrive)
+	c.recordSlotMatches()
 	if c.pool.agOut == nil {
 		c.pool.agOut = make([][]byte, c.size)
 	}

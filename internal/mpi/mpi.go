@@ -160,6 +160,11 @@ type Comm struct {
 	rank, size int
 	t          Transport
 	rec        *Recorder // optional wait-state event recorder (may be nil)
+	// ss is the transport's slot-match stamper when recording is on and
+	// the transport has one (the multi-process mesh): each collective's
+	// per-source matches become recorded p2p events, which is what lets
+	// the merged trace draw cross-process send-to-receive flow arrows.
+	ss slotStamper
 
 	// statsMu guards stats: the rank goroutine mutates the counters on
 	// every operation while observers (status/metrics endpoints) take
@@ -452,6 +457,12 @@ func Run(size int, fn func(c *Comm), opts ...RunOpt) []Stats {
 // finishes early cannot poison peers still mid-algorithm.
 func RunRank(t Transport, rec *Recorder, fn func(c *Comm)) (Stats, error) {
 	c := &Comm{rank: t.Rank(), size: t.Size(), rec: rec, t: t}
+	if rec != nil {
+		if ss, ok := t.(slotStamper); ok {
+			ss.StampSlotMatches(true)
+			c.ss = ss
+		}
+	}
 	var err error
 	func() {
 		defer func() {
@@ -503,6 +514,34 @@ func (c *Comm) Recv(src, tag int) (data []byte, from int) {
 		})
 	}
 	return data, from
+}
+
+// slotStamper is an optional transport capability: a transport with a
+// real wire can stamp each slot collective's per-source matches
+// (send stamp, receive window) so recorded runs get p2p events for
+// collective traffic too — the raw material of the merged trace's
+// cross-process flow arrows. Stamping stays off unless RunRank enables
+// it, keeping the hot path free of it on unrecorded runs.
+type slotStamper interface {
+	StampSlotMatches(on bool)
+	// TakeSlotMatches returns the matches stamped since the last call.
+	// The returned slice is reused by the next collective; the caller
+	// consumes it before issuing one.
+	TakeSlotMatches() []P2PEvent
+}
+
+// recordSlotMatches drains the transport's stamped matches of the
+// collective that just completed into the recorder, attributed to the
+// ambient kind. No-op unless RunRank found both a recorder and a
+// stamping transport.
+func (c *Comm) recordSlotMatches() {
+	if c.ss == nil {
+		return
+	}
+	for _, ev := range c.ss.TakeSlotMatches() {
+		ev.Kind = c.kind
+		c.rec.AddP2P(c.rank, ev)
+	}
 }
 
 // collectiveCost charges the modeled recursive-doubling cost for one

@@ -118,6 +118,7 @@ type ProcTransport struct {
 	rank, size int
 	epoch      time.Time
 	timeout    time.Duration
+	network    string
 
 	fail  failState
 	ib    *inbox
@@ -127,9 +128,102 @@ type ProcTransport struct {
 	collSeq int      // collective sequence counter (SPMD-consistent)
 	views   [][]byte // per-rank views returned by the Publish methods
 
+	tstats procCounters
+
+	// stamps collects per-source match records of the slot collectives
+	// when a recorded run enables it (see StampSlotMatches); only the
+	// rank goroutine touches it.
+	stamps struct {
+		on  bool
+		buf []P2PEvent
+	}
+
 	done    atomic.Bool // set on clean Finish: subsequent EOFs are benign
 	closed  sync.Once
 	readers sync.WaitGroup
+}
+
+// procCounters are the transport's wire-level counters. Atomics
+// throughout: the rank goroutine counts sends, each per-peer reader
+// counts its own receives, and a telemetry snapshot (Telemetry) may be
+// taken from yet another goroutine mid-run.
+type procCounters struct {
+	connectRetries atomic.Int64
+	handshakeNs    atomic.Int64
+	poisonsSent    atomic.Int64
+	poisonsRecv    atomic.Int64
+	peers          []peerCounters
+}
+
+type peerCounters struct {
+	framesSent, bytesSent atomic.Int64
+	framesRecv, bytesRecv atomic.Int64
+}
+
+// PeerTraffic is one peer's share of a rank's wire traffic: whole
+// frames (header included), as put on and taken off the socket. The
+// frame counts are deterministic for a given run — every message,
+// barrier token, and collective frame is one frame — while byte counts
+// include the fixed per-frame header.
+type PeerTraffic struct {
+	FramesSent int64 `json:"frames_sent"`
+	BytesSent  int64 `json:"bytes_sent"`
+	FramesRecv int64 `json:"frames_recv"`
+	BytesRecv  int64 `json:"bytes_recv"`
+}
+
+// TransportStats is a snapshot of one rank's transport-level counters:
+// per-peer frame/byte traffic, mesh-establishment cost, and failure
+// signals. Measured-time fields carry "wall" in their JSON names so
+// report diffing classifies them as nondeterministic. Handshake frames
+// themselves are not counted; the counters cover post-handshake
+// traffic.
+type TransportStats struct {
+	Network string `json:"network"`
+	// ConnectRetries counts dial attempts beyond the first across all
+	// peers during mesh establishment.
+	ConnectRetries int64 `json:"connect_retries"`
+	// HandshakeWallNs is the full mesh-establishment time: every peer
+	// dialed/accepted and handshake-verified.
+	HandshakeWallNs int64 `json:"handshake_wall_ns"`
+	PoisonsSent     int64 `json:"poisons_sent"`
+	PoisonsRecv     int64 `json:"poisons_recv"`
+
+	FramesSent int64 `json:"frames_sent"`
+	BytesSent  int64 `json:"bytes_sent"`
+	FramesRecv int64 `json:"frames_recv"`
+	BytesRecv  int64 `json:"bytes_recv"`
+	// Peers is indexed by peer rank; the self entry stays zero
+	// (self-sends never touch a socket).
+	Peers []PeerTraffic `json:"peers,omitempty"`
+}
+
+// Telemetry snapshots the transport's wire-level counters. Safe to call
+// at any time, including mid-run from another goroutine.
+func (t *ProcTransport) Telemetry() *TransportStats {
+	ts := &TransportStats{
+		Network:         t.network,
+		ConnectRetries:  t.tstats.connectRetries.Load(),
+		HandshakeWallNs: t.tstats.handshakeNs.Load(),
+		PoisonsSent:     t.tstats.poisonsSent.Load(),
+		PoisonsRecv:     t.tstats.poisonsRecv.Load(),
+		Peers:           make([]PeerTraffic, len(t.tstats.peers)),
+	}
+	for p := range t.tstats.peers {
+		pc := &t.tstats.peers[p]
+		pt := PeerTraffic{
+			FramesSent: pc.framesSent.Load(),
+			BytesSent:  pc.bytesSent.Load(),
+			FramesRecv: pc.framesRecv.Load(),
+			BytesRecv:  pc.bytesRecv.Load(),
+		}
+		ts.Peers[p] = pt
+		ts.FramesSent += pt.FramesSent
+		ts.BytesSent += pt.BytesSent
+		ts.FramesRecv += pt.FramesRecv
+		ts.BytesRecv += pt.BytesRecv
+	}
+	return ts
 }
 
 // DialProc establishes this rank's corner of the full mesh — listening
@@ -161,12 +255,15 @@ func DialProc(cfg ProcConfig, opts ...RunOpt) (*ProcTransport, error) {
 		size:    cfg.Size,
 		epoch:   epoch,
 		timeout: bag.timeout,
+		network: cfg.Network,
 		ib:      newInbox(),
 		conns:   make([]*peerConn, cfg.Size),
 		views:   make([][]byte, cfg.Size),
 	}
+	t.tstats.peers = make([]peerCounters, cfg.Size)
 	t.fail.init()
-	deadline := time.Now().Add(bag.connect)
+	meshStart := time.Now()
+	deadline := meshStart.Add(bag.connect)
 
 	var wg sync.WaitGroup
 	errs := make([]error, 2)
@@ -189,6 +286,7 @@ func DialProc(cfg ProcConfig, opts ...RunOpt) (*ProcTransport, error) {
 		t.closeConns()
 		return nil, fmt.Errorf("mpi: rank %d mesh setup: %w", cfg.Rank, err)
 	}
+	t.tstats.handshakeNs.Store(time.Since(meshStart).Nanoseconds())
 	for peer, pc := range t.conns {
 		if pc == nil {
 			continue
@@ -266,6 +364,7 @@ func (t *ProcTransport) dialPeers(cfg ProcConfig, deadline time.Time) error {
 				err = herr
 			}
 			// Exponential backoff while the peer process starts up.
+			t.tstats.connectRetries.Add(1)
 			time.Sleep(backoff)
 			if backoff < 500*time.Millisecond {
 				backoff *= 2
@@ -361,7 +460,11 @@ func (t *ProcTransport) reader(peer int, pc *peerConn) {
 			t.readFailed(peer, err)
 			return
 		}
+		pcnt := &t.tstats.peers[peer]
+		pcnt.framesRecv.Add(1)
+		pcnt.bytesRecv.Add(int64(frameHeader) + int64(n))
 		if tag == tagPoison {
+			t.tstats.poisonsRecv.Add(1)
 			t.fail.poisonWith(fmt.Errorf("poisoned by rank %d: %s", peer, data))
 			return
 		}
@@ -401,6 +504,9 @@ func (t *ProcTransport) send(dst, tag int, data []byte) {
 		cause := t.awaitCause(fmt.Errorf("rank %d: send to rank %d failed: %v", t.rank, dst, err))
 		panic(fmt.Sprintf("mpi: rank %d: world poisoned in Send(dst=%d, tag=%d): cause: %v", t.rank, dst, tag, cause))
 	}
+	pcnt := &t.tstats.peers[dst]
+	pcnt.framesSent.Add(1)
+	pcnt.bytesSent.Add(int64(frameHeader + len(data)))
 }
 
 // awaitCause resolves the failure to blame for a secondary symptom
@@ -420,6 +526,36 @@ func (t *ProcTransport) awaitCause(fallback error) error {
 }
 
 func (t *ProcTransport) Send(dst, tag int, data []byte) { t.send(dst, tag, data) }
+
+// StampSlotMatches turns per-source match stamping on or off for the
+// slot collectives (the slotStamper capability; see Comm). Called once
+// before the rank program starts.
+func (t *ProcTransport) StampSlotMatches(on bool) { t.stamps.on = on }
+
+// TakeSlotMatches returns the matches stamped since the last call and
+// reclaims the backing storage for the next collective.
+func (t *ProcTransport) TakeSlotMatches() []P2PEvent {
+	s := t.stamps.buf
+	t.stamps.buf = t.stamps.buf[:0]
+	return s
+}
+
+// collectMatch is recvMatch plus an optional match stamp: the message's
+// wire-carried send stamp and this rank's receive window, the raw
+// material of cross-process flow arrows.
+func (t *ProcTransport) collectMatch(src, tag int, op string) message {
+	if !t.stamps.on {
+		return t.recvMatch(src, tag, op)
+	}
+	start := t.Now()
+	m := t.recvMatch(src, tag, op)
+	t.stamps.buf = append(t.stamps.buf, P2PEvent{
+		Src: src, Tag: tag,
+		Bytes:  int64(len(m.data)),
+		SentAt: m.sentAt, RecvStart: start, RecvEnd: t.Now(),
+	})
+	return m
+}
 
 // recvMatch blocks until the inbox holds a message matching (src, tag).
 // Same lazy-timer loop as the goroutine backend, with op naming the
@@ -489,7 +625,7 @@ func (t *ProcTransport) GatherSlots(data []byte) [][]byte {
 		if src == t.rank {
 			continue
 		}
-		m := t.recvMatch(src, tag, "Allgather")
+		m := t.collectMatch(src, tag, "Allgather")
 		t.views[src] = m.data
 	}
 	return t.views
@@ -509,7 +645,7 @@ func (t *ProcTransport) ScatterSlots(bufs [][]byte) [][]byte {
 		if src == t.rank {
 			continue
 		}
-		m := t.recvMatch(src, tag, "Alltoallv")
+		m := t.collectMatch(src, tag, "Alltoallv")
 		t.views[src] = m.data
 	}
 	return t.views
@@ -527,7 +663,7 @@ func (t *ProcTransport) BcastSlot(root int, data []byte) []byte {
 		}
 		return data
 	}
-	m := t.recvMatch(root, tag, "Bcast")
+	m := t.collectMatch(root, tag, "Bcast")
 	return m.data
 }
 
@@ -547,12 +683,17 @@ func (t *ProcTransport) Abort(err error) {
 	t.fail.poisonWith(err)
 	t.done.Store(true) // our own readers' EOFs are expected from here on
 	msg := []byte(err.Error())
-	for _, pc := range t.conns {
+	for peer, pc := range t.conns {
 		if pc == nil {
 			continue
 		}
 		_ = pc.c.SetWriteDeadline(time.Now().Add(2 * time.Second))
-		_ = pc.writeFrame(tagPoison, 0, msg)
+		if werr := pc.writeFrame(tagPoison, 0, msg); werr == nil {
+			t.tstats.poisonsSent.Add(1)
+			pcnt := &t.tstats.peers[peer]
+			pcnt.framesSent.Add(1)
+			pcnt.bytesSent.Add(int64(frameHeader + len(msg)))
+		}
 	}
 	t.closeConns()
 }

@@ -1,0 +1,315 @@
+package mpi
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// collectingHandler records everything Serve dispatches, in order.
+type collectingHandler struct {
+	mu      sync.Mutex
+	samples []ClockSample
+	tags    []int
+	frames  [][]byte
+}
+
+func (h *collectingHandler) HandleSample(rank int, s ClockSample) {
+	h.mu.Lock()
+	h.samples = append(h.samples, s)
+	h.mu.Unlock()
+}
+
+func (h *collectingHandler) HandleFrame(rank, tag int, sentAt time.Duration, payload []byte) {
+	h.mu.Lock()
+	h.tags = append(h.tags, tag)
+	h.frames = append(h.frames, payload)
+	h.mu.Unlock()
+}
+
+// acceptOne runs the parent side of one uplink: accept, handshake,
+// serve until the child says bye. Returns Serve's error and the peer.
+func acceptOne(t *testing.T, ln net.Listener, size int, epoch time.Time, version string, h UplinkHandler) (*UplinkPeer, error) {
+	t.Helper()
+	conn, err := ln.Accept()
+	if err != nil {
+		t.Fatalf("accept: %v", err)
+	}
+	peer, err := AcceptUplink(conn, size, epoch, version, 5*time.Second)
+	if err != nil {
+		//dinfomap:close-ok test cleanup of a rejected handshake
+		conn.Close()
+		return nil, err
+	}
+	err = peer.Serve(h, time.Millisecond)
+	peer.Close()
+	return peer, err
+}
+
+// TestUplinkEndToEnd drives the full protocol over TCP loopback: hello
+// handshake, live Offer frames, ping/pong clock samples, the blocking
+// final section, and the bye frame carrying the drop count.
+func TestUplinkEndToEnd(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	//dinfomap:close-ok test listener
+	defer ln.Close()
+	epoch := time.Now()
+
+	h := &collectingHandler{}
+	type served struct {
+		peer *UplinkPeer
+		err  error
+	}
+	done := make(chan served, 1)
+	go func() {
+		p, err := acceptOne(t, ln, 4, epoch, "buildX", h)
+		done <- served{p, err}
+	}()
+
+	up, err := DialUplink("tcp", ln.Addr().String(), UplinkConfig{
+		Rank: 2, Size: 4, Epoch: epoch, Version: "buildX",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if !up.Offer(UplinkTagEvent, []byte{byte(i)}) {
+			t.Fatalf("Offer %d rejected with an idle ring", i)
+		}
+	}
+	up.Flush()
+	if err := up.Send(UplinkTagSection, []byte("final")); err != nil {
+		t.Fatalf("Send section: %v", err)
+	}
+	// Leave the link up long enough for a few ping/pong rounds.
+	time.Sleep(50 * time.Millisecond)
+	up.Close()
+
+	sv := <-done
+	if sv.err != nil {
+		t.Fatalf("Serve: %v", sv.err)
+	}
+	if got := sv.peer.Rank(); got != 2 {
+		t.Errorf("peer rank = %d, want 2", got)
+	}
+	if got := sv.peer.Drops(); got != 0 {
+		t.Errorf("reported drops = %d, want 0", got)
+	}
+
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.tags) != 11 {
+		t.Fatalf("got %d frames, want 11 (10 events + section)", len(h.tags))
+	}
+	for i := 0; i < 10; i++ {
+		if h.tags[i] != UplinkTagEvent || !bytes.Equal(h.frames[i], []byte{byte(i)}) {
+			t.Fatalf("frame %d = tag %d payload %v; events must arrive in offer order", i, h.tags[i], h.frames[i])
+		}
+	}
+	if h.tags[10] != UplinkTagSection || string(h.frames[10]) != "final" {
+		t.Errorf("last frame = tag %d payload %q, want the section after all live frames", h.tags[10], h.frames[10])
+	}
+	if len(h.samples) == 0 {
+		t.Fatal("no clock samples collected")
+	}
+	for i, s := range h.samples {
+		if s.RTT <= 0 {
+			t.Errorf("sample %d has non-positive RTT %v", i, s.RTT)
+		}
+		// Same host, same epoch: the offset is scheduling noise, far
+		// below a second.
+		if s.Offset > time.Second || s.Offset < -time.Second {
+			t.Errorf("sample %d offset %v is implausible for a same-host clock", i, s.Offset)
+		}
+	}
+}
+
+// TestUplinkRingOverflow pins the hot-path contract: when the parent
+// stops draining, Offer drops and counts instead of blocking, and Close
+// still returns (bounded by its write deadline) instead of hanging on
+// the stuck socket.
+func TestUplinkRingOverflow(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	//dinfomap:close-ok test listener
+	defer ln.Close()
+
+	// Parent accepts and handshakes, then never reads again.
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		if _, err := AcceptUplink(conn, 1, time.Now(), "", time.Second); err != nil {
+			//dinfomap:close-ok test cleanup of a rejected handshake
+			conn.Close()
+			return
+		}
+		accepted <- conn
+	}()
+
+	up, err := DialUplink("tcp", ln.Addr().String(), UplinkConfig{Rank: 0, Size: 1, Ring: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn := <-accepted
+	//dinfomap:close-ok stalled-parent conn torn down at test end
+	defer conn.Close()
+
+	// Large payloads fill the kernel socket buffer, wedging the writer;
+	// then the 2-slot ring fills; then Offer must drop.
+	payload := make([]byte, 256<<10)
+	deadline := time.Now().Add(10 * time.Second)
+	for up.Drops() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("Offer never dropped against a stalled parent")
+		}
+		up.Offer(UplinkTagEvent, payload)
+	}
+	if up.Offer(UplinkTagEvent, payload) {
+		t.Error("Offer succeeded with a full ring and a wedged writer")
+	}
+
+	start := time.Now()
+	up.Close() // must not hang on the blocked write
+	if waited := time.Since(start); waited > 8*time.Second {
+		t.Errorf("Close took %v against a stalled parent", waited)
+	}
+	if up.Drops() == 0 {
+		t.Error("drop count lost")
+	}
+}
+
+// TestUplinkHandshakeMismatch covers the accept-side rejections: world
+// size disagreement and build mismatch both fail with a handshake
+// mismatch, not a generic I/O error.
+func TestUplinkHandshakeMismatch(t *testing.T) {
+	cases := []struct {
+		name          string
+		childSize     int
+		childVersion  string
+		parentSize    int
+		parentVersion string
+	}{
+		{"size", 5, "v1", 4, "v1"},
+		{"version", 4, "v1", 4, "v2"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			//dinfomap:close-ok test listener
+			defer ln.Close()
+			errc := make(chan error, 1)
+			go func() {
+				conn, err := ln.Accept()
+				if err != nil {
+					errc <- err
+					return
+				}
+				//dinfomap:close-ok test cleanup
+				defer conn.Close()
+				_, err = AcceptUplink(conn, tc.parentSize, time.Now(), tc.parentVersion, time.Second)
+				errc <- err
+			}()
+			up, err := DialUplink("tcp", ln.Addr().String(), UplinkConfig{
+				Rank: 0, Size: tc.childSize, Version: tc.childVersion,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer up.Close()
+			acceptErr := <-errc
+			var hm *handshakeMismatch
+			if !errors.As(acceptErr, &hm) {
+				t.Fatalf("AcceptUplink error = %v, want a handshake mismatch", acceptErr)
+			}
+		})
+	}
+}
+
+// TestProcTransportTelemetry checks the wire counters against each
+// other: what rank 0 counts as sent to rank 1 must be exactly what
+// rank 1 counts as received from rank 0, and the handshake wall time
+// and peer table must be populated.
+func TestProcTransportTelemetry(t *testing.T) {
+	const size = 2
+	dir := shortTempDir(t)
+	listeners, addrs, err := ListenRanks("unix", size, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	epoch := time.Now()
+	stats := make([]*TransportStats, size)
+	errs := make([]error, size)
+	var wg sync.WaitGroup
+	for r := 0; r < size; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			tr, err := DialProc(ProcConfig{
+				Rank: rank, Size: size,
+				Listener: listeners[rank], Addrs: addrs, Network: "unix",
+				Epoch: epoch,
+			})
+			if err != nil {
+				errs[rank] = err
+				return
+			}
+			_, errs[rank] = RunRank(tr, nil, func(c *Comm) {
+				for i := 0; i < 20; i++ {
+					c.Send(1-c.Rank(), 7+i, bytes.Repeat([]byte{byte(i)}, 100+i))
+					c.Recv(1-c.Rank(), 7+i)
+				}
+				c.Barrier()
+			})
+			stats[rank] = tr.Telemetry()
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+	for r, ts := range stats {
+		if ts.Network != "unix" {
+			t.Errorf("rank %d network = %q", r, ts.Network)
+		}
+		if ts.HandshakeWallNs <= 0 {
+			t.Errorf("rank %d handshake wall = %d, want > 0", r, ts.HandshakeWallNs)
+		}
+		if len(ts.Peers) != size {
+			t.Fatalf("rank %d peer table has %d entries, want %d", r, len(ts.Peers), size)
+		}
+		if ts.PoisonsSent != 0 || ts.PoisonsRecv != 0 {
+			t.Errorf("rank %d counted poisons (%d sent, %d recv) on a clean run", r, ts.PoisonsSent, ts.PoisonsRecv)
+		}
+	}
+	// Conservation: sent(0→1) == recv(1←0) and vice versa, frames and
+	// bytes alike. Finish/barrier traffic is included on both sides, so
+	// the totals still balance.
+	for r := 0; r < size; r++ {
+		peer := 1 - r
+		sent := stats[r].Peers[peer]
+		recv := stats[peer].Peers[r]
+		if sent.FramesSent == 0 {
+			t.Fatalf("rank %d sent no frames to rank %d", r, peer)
+		}
+		if sent.FramesSent != recv.FramesRecv || sent.BytesSent != recv.BytesRecv {
+			t.Errorf("conservation broken %d→%d: sent %d frames/%d bytes, peer received %d frames/%d bytes",
+				r, peer, sent.FramesSent, sent.BytesSent, recv.FramesRecv, recv.BytesRecv)
+		}
+	}
+}

@@ -1,0 +1,71 @@
+// Clock alignment for multi-process runs: every rank process stamps
+// its telemetry on its own monotonic clock (anchored to the shared
+// launcher wall epoch, so offsets start small), and the launcher's
+// ping/pong samples (mpi.ClockSample) measure each child's offset from
+// the parent clock. EstimateClock condenses the samples into one
+// per-rank estimate; MergeTelemetry (remote.go) subtracts the offsets
+// to put every rank's events on the parent timeline.
+package obs
+
+import (
+	"time"
+
+	"dinfomap/internal/mpi"
+)
+
+// ClockEstimate is one rank's estimated clock offset from the parent
+// launcher. All fields are measured ("wall" JSON names): they differ
+// run to run and are scrubbed from parity comparisons.
+type ClockEstimate struct {
+	Rank int `json:"rank"`
+	// OffsetNs is (child clock − parent clock) at the best sample's RTT
+	// midpoint: subtract it from a child stamp to land on the parent
+	// timeline.
+	OffsetNs int64 `json:"offset_wall_ns"`
+	// RTTNs is the best (smallest) sample's round-trip time — the
+	// half-RTT bounds the estimate's intrinsic error.
+	RTTNs int64 `json:"rtt_wall_ns"`
+	// ResidualNs is the largest deviation of any credible sample's
+	// offset from the chosen one: a drift/instability indicator. Above
+	// a sanity threshold, cross-rank attributions (wait matching,
+	// critical path) lose meaning; dinfomap-analyze flags it.
+	ResidualNs int64 `json:"residual_wall_ns"`
+	// Samples is how many ping/pong measurements informed the estimate.
+	Samples int `json:"samples"`
+}
+
+// Offset returns the estimated offset as a duration.
+func (c ClockEstimate) Offset() time.Duration { return time.Duration(c.OffsetNs) }
+
+// EstimateClock condenses ping/pong samples into rank's clock
+// estimate. The minimum-RTT sample wins (its midpoint interpolation
+// has the least room to be wrong); the residual is the spread of
+// offsets among credible samples — those with RTT within 2× of the
+// best, so queueing outliers don't masquerade as clock drift.
+func EstimateClock(rank int, samples []mpi.ClockSample) ClockEstimate {
+	est := ClockEstimate{Rank: rank, Samples: len(samples)}
+	if len(samples) == 0 {
+		return est
+	}
+	best := samples[0]
+	for _, s := range samples[1:] {
+		if s.RTT < best.RTT {
+			best = s
+		}
+	}
+	est.OffsetNs = best.Offset.Nanoseconds()
+	est.RTTNs = best.RTT.Nanoseconds()
+	for _, s := range samples {
+		if s.RTT > 2*best.RTT {
+			continue
+		}
+		dev := s.Offset - best.Offset
+		if dev < 0 {
+			dev = -dev
+		}
+		if d := dev.Nanoseconds(); d > est.ResidualNs {
+			est.ResidualNs = d
+		}
+	}
+	return est
+}

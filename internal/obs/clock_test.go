@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"testing"
+	"time"
+
+	"dinfomap/internal/mpi"
+)
+
+// synthSamples builds ping/pong samples for a child whose clock leads
+// the parent's by skew, with per-sample one-way network delays. The
+// measured offset of a sample is skew plus the asymmetry between the
+// outbound and return delays (the midpoint interpolation's intrinsic
+// error term).
+func synthSamples(skew time.Duration, delays [][2]time.Duration) []mpi.ClockSample {
+	out := make([]mpi.ClockSample, 0, len(delays))
+	at := time.Duration(0)
+	for _, d := range delays {
+		rtt := d[0] + d[1]
+		at += rtt
+		out = append(out, mpi.ClockSample{
+			Offset: skew + (d[0]-d[1])/2,
+			RTT:    rtt,
+			At:     at,
+		})
+	}
+	return out
+}
+
+// TestEstimateClockConstantSkew pins the core accuracy property: with
+// a constant true skew, the estimate's error is bounded by half the
+// best sample's RTT — the asymmetry term the midpoint cannot see.
+func TestEstimateClockConstantSkew(t *testing.T) {
+	const skew = 3 * time.Millisecond
+	samples := synthSamples(skew, [][2]time.Duration{
+		{400 * time.Microsecond, 900 * time.Microsecond}, // asymmetric, slow
+		{150 * time.Microsecond, 250 * time.Microsecond}, // fast
+		{2 * time.Millisecond, 5 * time.Millisecond},     // queueing outlier
+		{100 * time.Microsecond, 160 * time.Microsecond}, // best
+		{900 * time.Microsecond, 300 * time.Microsecond},
+	})
+	est := EstimateClock(3, samples)
+	if est.Rank != 3 || est.Samples != len(samples) {
+		t.Fatalf("estimate bookkeeping wrong: %+v", est)
+	}
+	if est.RTTNs != (260 * time.Microsecond).Nanoseconds() {
+		t.Errorf("best RTT = %v, want the minimum sample's 260µs", time.Duration(est.RTTNs))
+	}
+	err := time.Duration(est.OffsetNs) - skew
+	if err < 0 {
+		err = -err
+	}
+	if maxErr := time.Duration(est.RTTNs) / 2; err > maxErr {
+		t.Errorf("offset error %v exceeds half best RTT %v", err, maxErr)
+	}
+}
+
+// TestEstimateClockResidual separates the two ways samples disagree:
+// RTT outliers (queueing) must not inflate the residual, but genuine
+// offset spread among credible samples must.
+func TestEstimateClockResidual(t *testing.T) {
+	// Symmetric fast samples with identical offsets plus one slow
+	// outlier whose asymmetry implies a wildly different offset: the
+	// residual must stay zero because the outlier is not credible.
+	clean := synthSamples(time.Millisecond, [][2]time.Duration{
+		{100 * time.Microsecond, 100 * time.Microsecond},
+		{120 * time.Microsecond, 120 * time.Microsecond},
+		{4 * time.Millisecond, 100 * time.Microsecond}, // RTT > 2× best
+	})
+	if est := EstimateClock(0, clean); est.ResidualNs != 0 {
+		t.Errorf("RTT outlier leaked into the residual: %v", time.Duration(est.ResidualNs))
+	}
+
+	// A drifting clock: credible samples whose offsets walk away from
+	// each other. The residual must report the spread.
+	drift := []mpi.ClockSample{
+		{Offset: 1 * time.Millisecond, RTT: 200 * time.Microsecond, At: 0},
+		{Offset: 1*time.Millisecond + 300*time.Microsecond, RTT: 210 * time.Microsecond, At: time.Second},
+		{Offset: 1*time.Millisecond + 700*time.Microsecond, RTT: 220 * time.Microsecond, At: 2 * time.Second},
+	}
+	est := EstimateClock(0, drift)
+	if got := time.Duration(est.ResidualNs); got != 700*time.Microsecond {
+		t.Errorf("drift residual = %v, want 700µs (largest credible deviation from the best sample)", got)
+	}
+}
+
+// TestEstimateClockEmpty: no samples yields the zero estimate (offset
+// 0 is the only sane default — stamps pass through unshifted).
+func TestEstimateClockEmpty(t *testing.T) {
+	est := EstimateClock(5, nil)
+	if est.Rank != 5 || est.OffsetNs != 0 || est.RTTNs != 0 || est.ResidualNs != 0 || est.Samples != 0 {
+		t.Errorf("empty estimate = %+v, want zero values with the rank set", est)
+	}
+}

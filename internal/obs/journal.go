@@ -213,8 +213,35 @@ const initialEventCap = 1024
 
 // NewJournal returns a journal for p ranks with the epoch set to now.
 func NewJournal(p int) *Journal {
-	j := &Journal{epoch: time.Now(), ranks: make([]*RankLog, p)}
+	return NewJournalAt(p, time.Time{})
+}
+
+// NewJournalAt returns a journal for p ranks anchored to an explicit
+// epoch (zero means now). A multi-process launcher passes its own epoch
+// to every child so all journals stamp on one shared wall-clock zero
+// point and cross-process spans are comparable.
+func NewJournalAt(p int, epoch time.Time) *Journal {
+	if epoch.IsZero() {
+		epoch = time.Now()
+	}
+	j := &Journal{epoch: epoch, ranks: make([]*RankLog, p)}
 	for r := range j.ranks {
+		j.ranks[r] = &RankLog{rank: r, epoch: j.epoch, j: j, events: make([]Event, 0, initialEventCap)}
+	}
+	return j
+}
+
+// NewRankJournal returns a p-rank journal that allocates only rank r's
+// log: the shape a child process of a multi-process run needs, where
+// instrumented code indexes by global rank but only one rank lives in
+// the process. The other slots stay nil, which every RankLog method
+// treats as a valid no-op sink; Status reports them as empty.
+func NewRankJournal(r, p int, epoch time.Time) *Journal {
+	if epoch.IsZero() {
+		epoch = time.Now()
+	}
+	j := &Journal{epoch: epoch, ranks: make([]*RankLog, p)}
+	if r >= 0 && r < p {
 		j.ranks[r] = &RankLog{rank: r, epoch: j.epoch, j: j, events: make([]Event, 0, initialEventCap)}
 	}
 	return j

@@ -54,6 +54,12 @@ type Metrics struct {
 	recvsBlocked  *Vec // {rank}
 	barrierSyncs  *Vec // {rank}
 
+	transportFrames    *Vec // {rank, peer, direction}
+	transportBytes     *Vec // {rank, peer, direction}
+	transportRetries   *Vec // {rank}
+	transportHandshake *Vec // {rank} gauge, seconds
+	transportPoisons   *Vec // {rank, direction}
+
 	journalEvents      *Vec
 	journalDropped     *Vec
 	journalSubscribers *Vec
@@ -109,6 +115,17 @@ func RunMetrics(j *Journal) *Metrics {
 		barrierSyncs: reg.Counter("dinfomap_comm_barrier_syncs_total",
 			"Synchronization points entered (barriers and collective-internal syncs), by rank.", "rank"),
 
+		transportFrames: reg.Counter("dinfomap_transport_frames_total",
+			"Multi-process transport frames on the wire, by rank, peer rank, and direction (sent, recv).", "rank", "peer", "direction"),
+		transportBytes: reg.Counter("dinfomap_transport_bytes_total",
+			"Multi-process transport bytes on the wire (frame headers included), by rank, peer rank, and direction.", "rank", "peer", "direction"),
+		transportRetries: reg.Counter("dinfomap_transport_connect_retries_total",
+			"Mesh-establishment dial attempts beyond the first, by rank.", "rank"),
+		transportHandshake: reg.Gauge("dinfomap_transport_handshake_seconds",
+			"Full mesh-establishment time (all peers dialed/accepted and verified), by rank.", "rank"),
+		transportPoisons: reg.Counter("dinfomap_transport_poison_events_total",
+			"Poison frames observed on the mesh, by rank and direction (sent, recv).", "rank", "direction"),
+
 		journalEvents: reg.Gauge("dinfomap_journal_events",
 			"Total journal events emitted across ranks."),
 		journalDropped: reg.Gauge("dinfomap_journal_dropped_events",
@@ -157,6 +174,32 @@ func (m *Metrics) observe(ev StreamEvent) {
 	m.spanMsgs.With(rank, phase).Add(float64(ev.Msgs))
 	m.spanBytes.With(rank, phase).Add(float64(ev.Bytes))
 	m.spanDur.With(phase).Observe(ev.Dur().Seconds())
+}
+
+// ObserveTransport mirrors one rank's cumulative transport-counter
+// snapshot into the registry (Set semantics, like scrape: the source is
+// itself a monotone counter set). Nil-safe on both receivers; safe from
+// any goroutine — the launcher's uplink collector calls it once per
+// periodic child snapshot.
+func (m *Metrics) ObserveTransport(rank int, ts *mpi.TransportStats) {
+	if m == nil || ts == nil {
+		return
+	}
+	r := strconv.Itoa(rank)
+	for p, pt := range ts.Peers {
+		if pt == (mpi.PeerTraffic{}) {
+			continue // self slot, or a peer never talked to
+		}
+		peer := strconv.Itoa(p)
+		m.transportFrames.With(r, peer, "sent").Set(float64(pt.FramesSent))
+		m.transportFrames.With(r, peer, "recv").Set(float64(pt.FramesRecv))
+		m.transportBytes.With(r, peer, "sent").Set(float64(pt.BytesSent))
+		m.transportBytes.With(r, peer, "recv").Set(float64(pt.BytesRecv))
+	}
+	m.transportRetries.With(r).Set(float64(ts.ConnectRetries))
+	m.transportHandshake.With(r).Set(float64(ts.HandshakeWallNs) / 1e9)
+	m.transportPoisons.With(r, "sent").Set(float64(ts.PoisonsSent))
+	m.transportPoisons.With(r, "recv").Set(float64(ts.PoisonsRecv))
 }
 
 // scrape mirrors the scrape-time values into the registry: each rank's

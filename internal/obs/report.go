@@ -192,6 +192,11 @@ type RankReport struct {
 	// Iterations are the rank's per-outer-iteration cost/traffic slices
 	// in outer order. Schema addition (v1-compatible).
 	Iterations []IterationReport `json:"iterations,omitempty"`
+	// Transport carries the rank's wire-level counters on multi-process
+	// runs (frames/bytes per peer, connect retries, handshake latency,
+	// poison events). Schema addition (v1-compatible); absent on
+	// in-process runs, which have no wire.
+	Transport *mpi.TransportStats `json:"transport,omitempty"`
 }
 
 // GraphInfo summarizes the input graph.
@@ -279,8 +284,14 @@ type Report struct {
 	LostTime     *LostTimeReport   `json:"lost_time,omitempty"`
 	// Build records the binary's provenance. Schema addition
 	// (v1-compatible).
-	Build *BuildInfo   `json:"build,omitempty"`
-	Ranks []RankReport `json:"ranks"`
+	Build *BuildInfo `json:"build,omitempty"`
+	// Clocks holds the per-rank clock-offset estimates of a
+	// multi-process run — the corrections already applied to every
+	// cross-process timestamp in this report. Schema addition
+	// (v1-compatible); absent on in-process runs (one clock). All
+	// measured ("wall") fields.
+	Clocks []ClockEstimate `json:"clocks,omitempty"`
+	Ranks  []RankReport    `json:"ranks"`
 }
 
 // WriteJSON writes r as indented JSON.

@@ -224,7 +224,14 @@ func (j *Journal) Status() Status {
 	st.Subscribers = j.Subscribers()
 	st.Ranks = make([]RankStatus, len(j.ranks))
 	for r, rl := range j.ranks {
-		rs := RankStatus{Rank: r, Events: rl.emitted.Load(), Iter: -1}
+		rs := RankStatus{Rank: r, Iter: -1}
+		if rl == nil {
+			// Rank-scoped journals (child processes) leave foreign rows
+			// nil; they appear here as ranks with no activity.
+			st.Ranks[r] = rs
+			continue
+		}
+		rs.Events = rl.emitted.Load()
 		if last := rl.last.Load(); last != nil {
 			rs.Stage = int(last.Stage)
 			rs.Outer = int(last.Outer)
