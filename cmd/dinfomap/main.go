@@ -53,9 +53,11 @@ import (
 
 func main() {
 	var (
-		p         = flag.Int("p", 4, "number of ranks")
-		dHigh     = flag.Int("dhigh", 0, "delegate degree threshold (0 = auto)")
-		seed      = flag.Uint64("seed", 1, "random seed")
+		p              = flag.Int("p", 4, "number of ranks")
+		dHigh          = flag.Int("dhigh", 0, "delegate degree threshold (0 = auto)")
+		seed           = flag.Uint64("seed", 1, "random seed")
+		asyncStaleness = flag.Int("async-staleness", 0,
+			"bounded-staleness async sweeps: ranks may proceed with ghost statistics up to k epochs stale (0 = synchronous, bit-reproducible)")
 		dataset   = flag.String("dataset", "", "built-in dataset name instead of a file")
 		scale     = flag.Float64("scale", 1.0, "built-in dataset scale factor")
 		transport = flag.String("transport", "goroutine",
@@ -91,7 +93,7 @@ func main() {
 	}
 
 	launch := procLaunch{
-		p: *p, dHigh: *dHigh, seed: *seed,
+		p: *p, dHigh: *dHigh, seed: *seed, asyncStaleness: *asyncStaleness,
 		dataset: *dataset, scale: *scale, graphPath: flag.Arg(0),
 		tracePath: *tracePath, connectTimeout: *connectTimeout,
 	}
@@ -163,7 +165,10 @@ func main() {
 	}
 	fmt.Printf("graph: %d vertices, %d edges\n", g.NumVertices(), g.NumEdges())
 
-	cfg := dinfomap.DistributedConfig{P: *p, DHigh: *dHigh, Seed: *seed, Journal: journal}
+	cfg := dinfomap.DistributedConfig{
+		P: *p, DHigh: *dHigh, Seed: *seed,
+		StalenessBound: *asyncStaleness, Journal: journal,
+	}
 	start := time.Now()
 	var res *dinfomap.DistributedResult
 	var mesh *meshTelemetry

@@ -39,6 +39,7 @@ import (
 // reproduce exactly: anything that shapes the graph or the algorithm.
 type procLaunch struct {
 	p, dHigh       int
+	asyncStaleness int
 	seed           uint64
 	dataset        string
 	scale          float64
@@ -177,6 +178,7 @@ func launchProcRanks(l procLaunch, journal *dinfomap.RunJournal, lm *dinfomap.Ru
 			"-p", strconv.Itoa(l.p),
 			"-dhigh", strconv.Itoa(l.dHigh),
 			"-seed", strconv.FormatUint(l.seed, 10),
+			"-async-staleness", strconv.Itoa(l.asyncStaleness),
 			"-connect-timeout", l.connectTimeout.String(),
 		}
 		if upAddr != "" {
@@ -246,7 +248,9 @@ func launchProcRanks(l procLaunch, journal *dinfomap.RunJournal, lm *dinfomap.Ru
 		}
 		arts[r] = a
 	}
-	cfg := dinfomap.DistributedConfig{P: l.p, DHigh: l.dHigh, Seed: l.seed}
+	cfg := dinfomap.DistributedConfig{
+		P: l.p, DHigh: l.dHigh, Seed: l.seed, StalenessBound: l.asyncStaleness,
+	}
 	res, err := dinfomap.AssembleDistributed(cfg, arts)
 	if err != nil {
 		return nil, nil, err
@@ -329,7 +333,8 @@ func runChildRank(cc childConfig) error {
 
 	cfg := dinfomap.DistributedConfig{
 		P: l.p, DHigh: l.dHigh, Seed: l.seed,
-		Journal: journal, Recorder: rec,
+		StalenessBound: l.asyncStaleness,
+		Journal:        journal, Recorder: rec,
 	}
 	art, runErr := dinfomap.RunDistributedRank(g, cfg, tr)
 

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"dinfomap/internal/graph"
+	"dinfomap/internal/infomap"
+	"dinfomap/internal/metrics"
+)
+
+// TestAsyncZeroBoundIsSynchronous is the k=0 contract: a staleness
+// bound of zero must reproduce the synchronized loop bit for bit, on
+// both transports. (k=0 dispatches to the untouched cluster(); this
+// test pins the dispatch so a future "async with k=0" shortcut cannot
+// silently change default behavior.)
+func TestAsyncZeroBoundIsSynchronous(t *testing.T) {
+	g, _ := planted(7, 600, 12, 0.2)
+	base := Run(g, Config{P: 4, Seed: 42})
+	zero := Run(g, Config{P: 4, Seed: 42, StalenessBound: 0})
+	if base.Codelength != zero.Codelength || base.NumModules != zero.NumModules {
+		t.Fatalf("k=0 differs from default: L %v/%v, modules %d/%d",
+			base.Codelength, zero.Codelength, base.NumModules, zero.NumModules)
+	}
+	for u := range base.Communities {
+		if base.Communities[u] != zero.Communities[u] {
+			t.Fatalf("k=0 assignment differs at vertex %d", u)
+		}
+	}
+	if zero.PerRankStaleness != nil {
+		t.Fatalf("synchronous run reports a staleness histogram: %v", zero.PerRankStaleness)
+	}
+
+	proc := runRanksOverProc(t, g, Config{P: 4, Seed: 42, StalenessBound: 0})
+	if base.Codelength != proc.Codelength {
+		t.Fatalf("k=0 proc codelength %v differs from goroutine %v",
+			proc.Codelength, base.Codelength)
+	}
+	for u := range base.Communities {
+		if base.Communities[u] != proc.Communities[u] {
+			t.Fatalf("k=0 proc assignment differs at vertex %d", u)
+		}
+	}
+}
+
+// checkAsyncResult validates the invariants every bounded-staleness run
+// must satisfy regardless of message timing: an exact reported
+// codelength (the closing synchronous refresh restores exactness),
+// quality close to the synchronized loop's, and a per-rank staleness
+// histogram that respects the bound and accounts for every epoch.
+func checkAsyncResult(t *testing.T, name string, g *graph.Graph, res, sync *Result, truth []int, k, p int) {
+	t.Helper()
+	l := infomap.CodelengthOf(g, res.Communities)
+	if math.Abs(l-res.Codelength) > 1e-6 {
+		t.Errorf("%s: reported L = %v but partition evaluates to %v", name, res.Codelength, l)
+	}
+	rel := (res.Codelength - sync.Codelength) / sync.Codelength
+	if rel > 0.05 {
+		t.Errorf("%s: async L %.4f is %.1f%% worse than sync %.4f",
+			name, res.Codelength, 100*rel, sync.Codelength)
+	}
+	if truth != nil {
+		if nmi := metrics.NMI(res.Communities, truth); nmi < 0.80 {
+			t.Errorf("%s: NMI vs truth = %.3f, want >= 0.80 (modules=%d)",
+				name, nmi, res.NumModules)
+		}
+	}
+	if len(res.PerRankStaleness) != p {
+		t.Fatalf("%s: %d staleness histograms, want %d", name, len(res.PerRankStaleness), p)
+	}
+	for r, hist := range res.PerRankStaleness {
+		if len(hist) != k+1 {
+			t.Fatalf("%s: rank %d histogram has %d buckets, want %d", name, r, len(hist), k+1)
+		}
+		var epochs int64
+		for _, n := range hist {
+			if n < 0 {
+				t.Fatalf("%s: rank %d histogram has a negative bucket: %v", name, r, hist)
+			}
+			epochs += n
+		}
+		if epochs == 0 {
+			t.Errorf("%s: rank %d histogram is empty: %v", name, r, hist)
+		}
+		// Ranks stop independently, so epoch counts differ per rank and
+		// Stage1Iterations (rank 0's epochs plus the synchronized polish
+		// rounds) only bounds them loosely.
+		if epochs > 100 {
+			t.Errorf("%s: rank %d swept %d epochs, over the sweep budget", name, r, epochs)
+		}
+	}
+}
+
+// TestAsyncBoundedStaleness runs the asynchronous mode at several
+// bounds on the goroutine transport. Async results are timing-dependent
+// (documented), so every assertion is an invariant or a threshold,
+// never a golden value.
+func TestAsyncBoundedStaleness(t *testing.T) {
+	g, truth := planted(43, 1000, 20, 0.2)
+	sync := Run(g, Config{P: 4, Seed: 5})
+	for _, k := range []int{1, 2, 4} {
+		res := Run(g, Config{P: 4, Seed: 5, StalenessBound: k})
+		if res.Stage1Iterations >= 100 {
+			t.Errorf("k=%d: stage 1 did not converge: %d epochs", k, res.Stage1Iterations)
+		}
+		checkAsyncResult(t, "goroutine", g, res, sync, truth, k, 4)
+	}
+}
+
+// TestAsyncSingleRank pins the degenerate world: with no peers there is
+// nothing to be stale against, so every epoch is swept at staleness 0
+// and the run must still converge and report an exact codelength.
+func TestAsyncSingleRank(t *testing.T) {
+	g, _ := planted(53, 600, 12, 0.2)
+	sync := Run(g, Config{P: 1, Seed: 11})
+	res := Run(g, Config{P: 1, Seed: 11, StalenessBound: 2})
+	checkAsyncResult(t, "p=1", g, res, sync, nil, 2, 1)
+	if res.PerRankStaleness[0][1] != 0 || res.PerRankStaleness[0][2] != 0 {
+		t.Errorf("single rank swept stale: %v", res.PerRankStaleness[0])
+	}
+}
+
+// TestAsyncOverProcTransport exercises the bounded-staleness protocol —
+// eager sends, TryRecv drains, the blocking staleness gate, the fin
+// join — over real sockets, where message timing genuinely varies.
+func TestAsyncOverProcTransport(t *testing.T) {
+	g, truth := planted(43, 1000, 20, 0.2)
+	sync := Run(g, Config{P: 4, Seed: 5})
+	res := runRanksOverProc(t, g, Config{P: 4, Seed: 5, StalenessBound: 2})
+	checkAsyncResult(t, "proc", g, res, sync, truth, 2, 4)
+}

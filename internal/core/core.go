@@ -44,6 +44,17 @@ type Config struct {
 	// MaxSweeps bounds synchronized sweeps inside one clustering stage;
 	// <= 0 means 100.
 	MaxSweeps int
+	// StalenessBound selects the asynchronous sweep mode of stage 1:
+	// with k >= 1, ranks proceed through sweep epochs against ghost
+	// module statistics up to k epochs stale, sending Module_Info
+	// partials eagerly and draining peers' packets opportunistically
+	// between local move passes; a rank blocks only when the freshest
+	// complete epoch would exceed the bound (see clusterAsync). 0 (the
+	// default) is the fully synchronized loop, bit-for-bit identical to
+	// runs before this knob existed. Stage 2 operates on the contracted
+	// graph, whose sweeps are communication-cheap, and always runs
+	// synchronously.
+	StalenessBound int
 	// Seed randomizes per-rank vertex visit order.
 	Seed uint64
 	// CostModel converts measured work/traffic into modeled times; the
@@ -73,6 +84,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxSweeps <= 0 {
 		c.MaxSweeps = 100
+	}
+	if c.StalenessBound < 0 {
+		c.StalenessBound = 0
 	}
 	if c.CostModel == (trace.CostModel{}) {
 		c.CostModel = trace.DefaultCostModel()
@@ -125,6 +139,11 @@ type Result struct {
 	PerRankWall1, PerRankWall2 []time.Duration
 	// PerRankEvals[r] is rank r's delta-L evaluation count.
 	PerRankEvals []int64
+	// PerRankStaleness[r] is rank r's ghost-staleness histogram from the
+	// asynchronous stage-1 sweeps: bucket s counts epochs swept against
+	// module statistics s epochs stale (length StalenessBound+1; the
+	// gate makes larger staleness impossible). Nil on synchronous runs.
+	PerRankStaleness [][]int64
 
 	// PerRankIterations[r] is rank r's per-outer-iteration cost/traffic
 	// slices (stage 1 is outer 0, each merged level adds one): cumulative
@@ -244,6 +263,7 @@ func newRunState(g *graph.Graph, cfg *Config) *runState {
 		perRankWall2:       make([]time.Duration, cfg.P),
 		perRankEvals:       make([]int64, cfg.P),
 		perRankIters:       make([][]obs.IterationReport, cfg.P),
+		perRankStale:       make([][]int64, cfg.P),
 	}
 }
 
@@ -270,6 +290,7 @@ type runState struct {
 	perRankWall2       []time.Duration
 	perRankEvals       []int64
 	perRankIters       [][]obs.IterationReport
+	perRankStale       [][]int64
 
 	out rankOutput
 }

@@ -20,10 +20,11 @@ func BuildReport(g *graph.Graph, cfg Config, res *Result) *obs.Report {
 			TotalWeight: g.TotalWeight(),
 		},
 		Config: obs.ConfigInfo{
-			P:     cfg.P,
-			DHigh: cfg.DHigh,
-			Seed:  cfg.Seed,
-			Theta: cfg.Theta,
+			P:              cfg.P,
+			DHigh:          cfg.DHigh,
+			Seed:           cfg.Seed,
+			Theta:          cfg.Theta,
+			StalenessBound: cfg.StalenessBound,
 		},
 		Quality: obs.QualityInfo{
 			Codelength:        res.Codelength,
@@ -114,6 +115,9 @@ func BuildReport(g *graph.Graph, cfg Config, res *Result) *obs.Report {
 		}
 		if r < len(res.Transports) {
 			rr.Transport = res.Transports[r]
+		}
+		if r < len(res.PerRankStaleness) {
+			rr.GhostStaleness = res.PerRankStaleness[r]
 		}
 		rep.Ranks = append(rep.Ranks, rr)
 	}

@@ -1,0 +1,374 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sync"
+	"time"
+
+	"dinfomap/internal/core"
+	"dinfomap/internal/graph"
+	"dinfomap/internal/metrics"
+	"dinfomap/internal/mpi"
+	"dinfomap/internal/trace"
+)
+
+// runProcMesh runs the full algorithm over the proc backend — one
+// RunRank per rank, connected through real unix sockets — and
+// assembles the result. It is the measured-wall counterpart of
+// core.Run: the goroutine transport shares one address space and
+// scheduler, while this path exercises the same socket framing, codec,
+// and drain behavior as the multi-process launcher, so its wall clocks
+// reflect real transport latency.
+func runProcMesh(g *graph.Graph, cfg core.Config) (*core.Result, error) {
+	dir, err := os.MkdirTemp("", "mpi")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	listeners, addrs, err := mpi.ListenRanks("unix", cfg.P, dir)
+	if err != nil {
+		return nil, err
+	}
+	epoch := time.Now()
+	arts := make([]*core.RankArtifact, cfg.P)
+	errs := make([]error, cfg.P)
+	var wg sync.WaitGroup
+	for r := 0; r < cfg.P; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			tr, err := mpi.DialProc(mpi.ProcConfig{
+				Rank: rank, Size: cfg.P,
+				Listener: listeners[rank], Addrs: addrs, Network: "unix",
+				Epoch: epoch,
+			})
+			if err != nil {
+				errs[rank] = err
+				return
+			}
+			arts[rank], errs[rank] = core.RunRank(g, cfg, tr)
+		}(r)
+	}
+	wg.Wait()
+	for r, e := range errs {
+		if e != nil {
+			return nil, fmt.Errorf("rank %d: %w", r, e)
+		}
+	}
+	return core.Assemble(cfg, arts)
+}
+
+// measuredWall is the run's end-to-end measured time: the slowest
+// rank's stage-1 wall plus the slowest rank's stage-2 wall.
+func measuredWall(res *core.Result) time.Duration {
+	return res.Stage1Wall + res.Stage2Wall
+}
+
+// ---- Asynchronous staleness frontier (quality vs speed) ----
+
+// AsyncFrontierRow is one staleness bound's point on the
+// quality-vs-wall frontier, alongside fig9/fig10.
+type AsyncFrontierRow struct {
+	Dataset    string        `json:"dataset"`
+	P          int           `json:"p"`
+	K          int           `json:"k"` // staleness bound; 0 = synchronous baseline
+	Wall       time.Duration `json:"wall_ns"`
+	Speedup    float64       `json:"speedup"`     // sync wall / this wall
+	Codelength float64       `json:"codelength"`  // final MDL, bits
+	RelDeltaL  float64       `json:"rel_delta_l"` // (L - L_sync) / L_sync
+	NMI        float64       `json:"nmi,omitempty"`
+	Sweeps     int           `json:"stage1_sweeps"`
+	MeanStale  float64       `json:"mean_stale"` // over all ranks' swept epochs
+	MaxStale   int           `json:"max_stale"`
+}
+
+// RunAsyncFrontier charts the bounded-staleness quality-vs-speed
+// frontier: the same graph clustered over a real multi-process-style
+// mesh at staleness bounds k = 0 (synchronous), 1, 2, 4. Each bound is
+// run reps times and the minimum wall kept (socket wall clocks on
+// small graphs are noisy); quality numbers come from the kept run.
+// k >= 1 results are timing-dependent by design — the frontier is the
+// trade, not a golden value.
+func RunAsyncFrontier(o Options, dataset string, p int, ks []int) ([]AsyncFrontierRow, error) {
+	o = o.withDefaults()
+	if dataset == "" {
+		dataset = "amazon"
+	}
+	if p <= 0 {
+		p = 4
+	}
+	if len(ks) == 0 {
+		ks = []int{0, 1, 2, 4}
+	}
+	const reps = 3
+	g, truth, err := loadDataset(dataset, o)
+	if err != nil {
+		return nil, err
+	}
+	var rows []AsyncFrontierRow
+	var syncWall time.Duration
+	var syncL float64
+	for _, k := range ks {
+		var best *core.Result
+		var bestWall time.Duration
+		for rep := 0; rep < reps; rep++ {
+			res, err := runProcMesh(g, core.Config{P: p, Seed: o.Seed + 11, StalenessBound: k})
+			if err != nil {
+				return nil, fmt.Errorf("k=%d: %w", k, err)
+			}
+			if w := measuredWall(res); best == nil || w < bestWall {
+				best, bestWall = res, w
+			}
+		}
+		row := AsyncFrontierRow{
+			Dataset:    dataset,
+			P:          p,
+			K:          k,
+			Wall:       bestWall,
+			Codelength: best.Codelength,
+			Sweeps:     best.Stage1Iterations,
+		}
+		if truth != nil {
+			row.NMI = metrics.NMI(best.Communities, truth)
+		}
+		var epochs, weighted int64
+		for _, hist := range best.PerRankStaleness {
+			for s, n := range hist {
+				epochs += n
+				weighted += int64(s) * n
+				if n > 0 && s > row.MaxStale {
+					row.MaxStale = s
+				}
+			}
+		}
+		if epochs > 0 {
+			row.MeanStale = float64(weighted) / float64(epochs)
+		}
+		if k == 0 {
+			syncWall, syncL = bestWall, best.Codelength
+		}
+		if syncWall > 0 {
+			row.Speedup = float64(syncWall) / float64(bestWall)
+		}
+		if syncL > 0 {
+			row.RelDeltaL = (best.Codelength - syncL) / syncL
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatAsyncFrontier renders the staleness frontier table.
+func FormatAsyncFrontier(w io.Writer, rows []AsyncFrontierRow) {
+	writeHeader(w, "Async frontier: bounded-staleness quality vs measured wall (proc mesh)")
+	fmt.Fprintf(w, "%-10s %3s %3s %12s %8s %12s %9s %7s %7s %10s %9s\n",
+		"Dataset", "p", "k", "wall", "speedup", "codelength", "dL/L", "NMI", "sweeps", "mean-stale", "max-stale")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10s %3d %3d %12s %7.2fx %12.4f %8.2f%% %7.3f %7d %10.2f %9d\n",
+			r.Dataset, r.P, r.K, r.Wall.Round(time.Microsecond), r.Speedup,
+			r.Codelength, 100*r.RelDeltaL, r.NMI, r.Sweeps, r.MeanStale, r.MaxStale)
+	}
+}
+
+// ---- Measured speedup and alpha-beta model validation ----
+
+// SpeedupRow is one processor count's measured-vs-modeled data point.
+type SpeedupRow struct {
+	Dataset        string        `json:"dataset"`
+	P              int           `json:"p"`
+	Wall           time.Duration `json:"wall_ns"`    // measured, min over reps
+	Modeled        time.Duration `json:"modeled_ns"` // default cost-model constants
+	Fitted         time.Duration `json:"fitted_ns"`  // fitted constants on the same counters
+	Ops            int64         `json:"ops"`        // critical-rank compute operations
+	Msgs           int64         `json:"msgs"`       // critical-rank messages
+	Bytes          int64         `json:"bytes"`      // critical-rank bytes
+	Speedup        float64       `json:"speedup"`    // wall(p=1) / wall(p)
+	ModeledSpeedup float64       `json:"modeled_speedup"`
+}
+
+// SpeedupFit holds the alpha-beta constants fitted from measured walls
+// by least squares over the processor sweep, plus the fit error.
+type SpeedupFit struct {
+	TOpNs         float64 `json:"t_op_ns"`
+	AlphaNs       float64 `json:"alpha_ns"`
+	BetaNsPerByte float64 `json:"beta_ns_per_byte"`
+	MaxRelErr     float64 `json:"max_rel_err"` // max |fitted - measured| / measured
+}
+
+// SpeedupResult bundles the sweep rows with the fitted constants.
+type SpeedupResult struct {
+	Rows []SpeedupRow `json:"rows"`
+	Fit  SpeedupFit   `json:"fit"`
+}
+
+// RunSpeedup validates the alpha-beta cost model against measured
+// multi-process speedup (the ROADMAP open item): the same graph is
+// clustered over the proc mesh at p = 1..N, the measured walls are
+// least-squares fitted to wall ~= t_op*ops + alpha*msgs + beta*bytes
+// using each run's critical-rank counters, and the fitted curve is
+// reported next to the default-constant modeled curve. The point is
+// the shape comparison — absolute constants absorb host speed, socket
+// stack, and scheduler noise of the machine that ran the sweep.
+func RunSpeedup(o Options, dataset string, ps []int) (*SpeedupResult, error) {
+	o = o.withDefaults()
+	if dataset == "" {
+		dataset = "amazon"
+	}
+	if len(ps) == 0 {
+		ps = []int{1, 2, 3, 4}
+	}
+	const reps = 3
+	g, _, err := loadDataset(dataset, o)
+	if err != nil {
+		return nil, err
+	}
+	out := &SpeedupResult{}
+	for _, p := range ps {
+		var best *core.Result
+		var bestWall time.Duration
+		for rep := 0; rep < reps; rep++ {
+			res, err := runProcMesh(g, core.Config{P: p, Seed: o.Seed + 12})
+			if err != nil {
+				return nil, fmt.Errorf("p=%d: %w", p, err)
+			}
+			if w := measuredWall(res); best == nil || w < bestWall {
+				best, bestWall = res, w
+			}
+		}
+		crit := criticalRankCost(best)
+		out.Rows = append(out.Rows, SpeedupRow{
+			Dataset: dataset,
+			P:       p,
+			Wall:    bestWall,
+			Modeled: best.TotalModeled(),
+			Ops:     crit.Ops,
+			Msgs:    crit.Msgs,
+			Bytes:   crit.Bytes,
+		})
+	}
+	out.Fit = fitCostModel(out.Rows)
+	base := out.Rows[0]
+	for i := range out.Rows {
+		r := &out.Rows[i]
+		fitted := float64(r.Ops)*out.Fit.TOpNs + float64(r.Msgs)*out.Fit.AlphaNs + float64(r.Bytes)*out.Fit.BetaNsPerByte
+		r.Fitted = time.Duration(fitted)
+		if r.Wall > 0 {
+			r.Speedup = float64(base.Wall) / float64(r.Wall)
+			rel := math.Abs(fitted-float64(r.Wall)) / float64(r.Wall)
+			if rel > out.Fit.MaxRelErr {
+				out.Fit.MaxRelErr = rel
+			}
+		}
+		if r.Modeled > 0 {
+			r.ModeledSpeedup = float64(base.Modeled) / float64(r.Modeled)
+		}
+	}
+	return out, nil
+}
+
+// criticalRankCost sums each rank's per-phase counters across both
+// stages and returns the componentwise maximum over ranks — the
+// bulk-synchronous critical-path approximation the cost model uses.
+func criticalRankCost(res *core.Result) trace.RankCost {
+	var crit trace.RankCost
+	for r := range res.PerRankPhase {
+		var c trace.RankCost
+		for _, pc := range res.PerRankPhase[r] {
+			c.Ops += pc.Ops
+			c.Msgs += pc.Msgs
+			c.Bytes += pc.Bytes
+		}
+		if r < len(res.PerRankStage2) {
+			c.Ops += res.PerRankStage2[r].Ops
+			c.Msgs += res.PerRankStage2[r].Msgs
+			c.Bytes += res.PerRankStage2[r].Bytes
+		}
+		if c.Ops > crit.Ops {
+			crit.Ops = c.Ops
+		}
+		if c.Msgs > crit.Msgs {
+			crit.Msgs = c.Msgs
+		}
+		if c.Bytes > crit.Bytes {
+			crit.Bytes = c.Bytes
+		}
+	}
+	return crit
+}
+
+// fitCostModel solves the 3x3 normal equations of the least-squares
+// fit wall = t_op*ops + alpha*msgs + beta*bytes over the sweep rows.
+// Negative components (possible with few points and correlated
+// predictors) are clamped to zero.
+func fitCostModel(rows []SpeedupRow) SpeedupFit {
+	var a [3][3]float64
+	var b [3]float64
+	for _, r := range rows {
+		x := [3]float64{float64(r.Ops), float64(r.Msgs), float64(r.Bytes)}
+		y := float64(r.Wall)
+		for i := 0; i < 3; i++ {
+			for j := 0; j < 3; j++ {
+				a[i][j] += x[i] * x[j]
+			}
+			b[i] += x[i] * y
+		}
+	}
+	// Gaussian elimination with partial pivoting.
+	for col := 0; col < 3; col++ {
+		piv := col
+		for row := col + 1; row < 3; row++ {
+			if math.Abs(a[row][col]) > math.Abs(a[piv][col]) {
+				piv = row
+			}
+		}
+		a[col], a[piv] = a[piv], a[col]
+		b[col], b[piv] = b[piv], b[col]
+		if math.Abs(a[col][col]) < 1e-12 {
+			continue // degenerate predictor; leaves its coefficient 0
+		}
+		for row := col + 1; row < 3; row++ {
+			f := a[row][col] / a[col][col]
+			for j := col; j < 3; j++ {
+				a[row][j] -= f * a[col][j]
+			}
+			b[row] -= f * b[col]
+		}
+	}
+	var x [3]float64
+	for i := 2; i >= 0; i-- {
+		if math.Abs(a[i][i]) < 1e-12 {
+			continue
+		}
+		s := b[i]
+		for j := i + 1; j < 3; j++ {
+			s -= a[i][j] * x[j]
+		}
+		x[i] = s / a[i][i]
+	}
+	for i := range x {
+		if x[i] < 0 {
+			x[i] = 0
+		}
+	}
+	return SpeedupFit{TOpNs: x[0], AlphaNs: x[1], BetaNsPerByte: x[2]}
+}
+
+// FormatSpeedup renders the measured-vs-modeled speedup table and the
+// fitted constants.
+func FormatSpeedup(w io.Writer, res *SpeedupResult) {
+	writeHeader(w, "Speedup: measured multi-process wall vs alpha-beta model")
+	fmt.Fprintf(w, "%-10s %3s %12s %12s %12s %9s %9s %12s %8s %12s\n",
+		"Dataset", "p", "measured", "fitted", "modeled", "speedup", "modeled-s", "ops", "msgs", "bytes")
+	for _, r := range res.Rows {
+		fmt.Fprintf(w, "%-10s %3d %12s %12s %12s %8.2fx %8.2fx %12d %8d %12d\n",
+			r.Dataset, r.P,
+			r.Wall.Round(time.Microsecond), r.Fitted.Round(time.Microsecond),
+			r.Modeled.Round(time.Microsecond),
+			r.Speedup, r.ModeledSpeedup, r.Ops, r.Msgs, r.Bytes)
+	}
+	fmt.Fprintf(w, "fitted constants: t_op=%.1fns  alpha=%.0fns  beta=%.3fns/B  (defaults 50/2000/1; max rel err %.0f%%)\n",
+		res.Fit.TOpNs, res.Fit.AlphaNs, res.Fit.BetaNsPerByte, 100*res.Fit.MaxRelErr)
+}
